@@ -1,0 +1,35 @@
+# DiversiFi reproduction — common tasks.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples docs clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s \
+		2>&1 | tee bench_output.txt
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s \
+		2>&1 | tee bench_output_full.txt
+
+examples:
+	for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +; \
+	rm -rf .pytest_cache .hypothesis build *.egg-info

@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure and prints the rendered
+rows (run with ``-s`` to see them).  Run counts default to a scaled-down
+set so the whole suite finishes in minutes; set ``REPRO_FULL=1`` in the
+environment to run at the paper's full scale (458 wild calls, 61 office
+runs, 9224 NetTest calls...).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def scaled(fast: int, full: int) -> int:
+    """Pick the run count for the current scale."""
+    return full if FULL else fast
+
+
+@pytest.fixture(scope="session")
+def scale_info():
+    return {"full": FULL}

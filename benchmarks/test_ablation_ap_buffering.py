@@ -1,0 +1,94 @@
+"""Ablations of the "Customized AP" design choices (Section 5.3.1).
+
+1. **Head-drop vs tail-drop**: with a stock deep tail-drop PSM queue the
+   client drains stale packets before reaching the one it needs, blowing
+   the deadline and the airtime budget; head-drop with a short queue keeps
+   exactly the recent packets.
+2. **Queue length**: too short loses recovery opportunities (packet purged
+   before the client arrives), too long wastes airtime; APQL = MTD/IPS = 5
+   is the sweet spot the paper derives.
+3. **Hardware-queue batch**: flushing many buffered frames per wake
+   inflates wasteful duplication.
+"""
+
+import numpy as np
+
+from conftest import scaled
+
+from repro.core.config import APConfig, G711_PROFILE
+from repro.core.controller import run_session
+from repro.scenarios import build_office_pair
+
+
+def _run_set(ap_config, n_runs, seed0=0):
+    residual, waste, recovered = [], [], []
+    for seed in range(seed0, seed0 + n_runs):
+        r = run_session(build_office_pair, mode="diversifi-ap",
+                        profile=G711_PROFILE, seed=seed,
+                        ap_config=ap_config)
+        residual.append(r.effective_trace().loss_rate * 100)
+        waste.append(r.wasteful_duplication_rate() * 100)
+        recovered.append(r.client_stats.recovered)
+    return (float(np.mean(residual)), float(np.mean(waste)),
+            float(np.mean(recovered)))
+
+
+def test_ablation_head_vs_tail_drop(benchmark):
+    n = scaled(10, 30)
+
+    def run_both():
+        head = _run_set(APConfig(drop_policy="head", max_queue_len=5), n)
+        tail = _run_set(APConfig(drop_policy="tail", max_queue_len=64), n)
+        return head, tail
+
+    head, tail = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\nhead-drop/5:  residual={head[0]:.2f}% waste={head[1]:.2f}% "
+          f"recovered={head[2]:.1f}")
+    print(f"tail-drop/64: residual={tail[0]:.2f}% waste={tail[1]:.2f}% "
+          f"recovered={tail[2]:.1f}")
+
+    # The stock tail-drop AP wastes far more airtime on stale packets.
+    assert tail[1] > head[1] * 2.0
+    # Head-drop recovers at least as well.
+    assert head[0] <= tail[0] + 0.15
+
+
+def test_ablation_queue_length(benchmark):
+    n = scaled(8, 25)
+
+    def sweep():
+        out = {}
+        for qlen in (1, 3, 5, 10):
+            out[qlen] = _run_set(
+                APConfig(drop_policy="head", max_queue_len=qlen), n)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("")
+    for qlen, (residual, waste, recovered) in results.items():
+        print(f"qlen={qlen:2d}: residual={residual:.2f}% "
+              f"waste={waste:.2f}% recovered={recovered:.1f}")
+
+    # A 1-deep queue purges packets before the just-in-time switch lands.
+    assert results[1][2] < results[5][2]
+    # Deeper queues waste more than the derived APQL=5.
+    assert results[10][1] >= results[5][1] - 0.05
+
+
+def test_ablation_hardware_batch(benchmark):
+    n = scaled(8, 25)
+
+    def sweep():
+        return {batch: _run_set(
+            APConfig(drop_policy="head", max_queue_len=5,
+                     hardware_queue_batch=batch), n)
+            for batch in (1, 3, 5)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("")
+    for batch, (residual, waste, recovered) in results.items():
+        print(f"batch={batch}: residual={residual:.2f}% "
+              f"waste={waste:.2f}%")
+
+    # Flushing more frames per wake inflates wasteful duplication.
+    assert results[5][1] > results[1][1]

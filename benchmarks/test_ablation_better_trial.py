@@ -1,0 +1,49 @@
+"""Ablation: can a longer trial save trial-and-settle selection?
+
+The ``better`` policy samples both links, then settles (Section 4.1).
+Figure 2a shows it losing badly in the tail; an obvious objection is
+that 5 seconds is just too short a trial.  This sweep shows the problem
+is non-stationarity, not trial length: tripling or sextupling the trial
+barely moves the tail, and every trial length stays far above
+cross-link replication.
+"""
+
+import numpy as np
+
+from conftest import scaled
+
+from repro.analysis.windows import worst_window_loss
+from repro.core import strategies
+from repro.experiments.section4 import wild_dataset
+
+
+def test_ablation_better_trial_length(benchmark):
+    n = scaled(40, 200)
+
+    def run():
+        runs = wild_dataset(n, seed=5)
+        out = {}
+        for trial_s in (5.0, 15.0, 30.0):
+            worst = [100 * worst_window_loss(
+                strategies.better(r, trial_s=trial_s)) for r in runs]
+            out[trial_s] = float(np.percentile(worst, 90))
+        out["stronger"] = float(np.percentile(
+            [100 * worst_window_loss(strategies.stronger(r))
+             for r in runs], 90))
+        out["cross"] = float(np.percentile(
+            [100 * worst_window_loss(strategies.cross_link(r))
+             for r in runs], 90))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("")
+    for key, p90 in results.items():
+        label = (f"better, {key:.0f}s trial" if isinstance(key, float)
+                 else key)
+        print(f"  {label:22s} worst-5s p90 = {p90:.1f}%")
+
+    # No trial length approaches replication.
+    for trial_s in (5.0, 15.0, 30.0):
+        assert results[trial_s] > 2.0 * results["cross"]
+    # Longer trials buy little: the channel changes after any trial.
+    assert results[30.0] > 0.4 * results[5.0]

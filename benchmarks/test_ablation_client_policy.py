@@ -1,0 +1,75 @@
+"""Ablations of the client policy (Algorithm 1's constants).
+
+1. **Temporal-offset sweep** (Section 4.2): the benefit of temporal
+   replication grows with the spacing delta but saturates far above
+   cross-link.
+2. **Keepalive interval**: more frequent keepalives waste duplicates
+   without improving recovery (recovery visits already refresh the
+   association).
+"""
+
+import numpy as np
+
+from conftest import scaled
+
+from repro.analysis.windows import worst_window_loss
+from repro.core import strategies
+from repro.core.config import ClientConfig, G711_PROFILE
+from repro.core.controller import run_session
+from repro.experiments.section4 import wild_dataset
+from repro.scenarios import build_office_pair
+
+
+def test_ablation_temporal_delta_sweep(benchmark):
+    n = scaled(30, 100)
+    deltas = (0.0, 0.02, 0.05, 0.1)
+
+    def sweep():
+        runs = wild_dataset(n, seed=7, deltas=deltas)
+        out = {}
+        for delta in deltas:
+            worst = [100 * worst_window_loss(strategies.temporal(r, delta))
+                     for r in runs]
+            out[delta] = float(np.percentile(worst, 90))
+        out["cross"] = float(np.percentile(
+            [100 * worst_window_loss(strategies.cross_link(r))
+             for r in runs], 90))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("")
+    for key, p90 in results.items():
+        print(f"delta={key}: worst-5s p90={p90:.1f}%")
+
+    # Larger spacing helps (monotone modulo noise)...
+    assert results[0.1] <= results[0.0] + 2.0
+    # ...but never reaches cross-link.
+    assert results["cross"] < results[0.1]
+
+
+def test_ablation_keepalive_interval(benchmark):
+    n = scaled(8, 25)
+
+    def sweep():
+        out = {}
+        for akt in (5.0, 30.0):
+            cfg = ClientConfig(association_keepalive_timeout_s=akt)
+            waste, keepalives = [], []
+            for seed in range(n):
+                r = run_session(build_office_pair, mode="diversifi-ap",
+                                profile=G711_PROFILE, seed=seed,
+                                client_config=cfg)
+                waste.append(r.wasteful_duplication_rate() * 100)
+                keepalives.append(r.client_stats.keepalive_switches)
+            out[akt] = (float(np.mean(waste)), float(np.mean(keepalives)))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("")
+    for akt, (waste, keepalives) in results.items():
+        print(f"AKT={akt:5.1f}s: waste={waste:.2f}% "
+              f"keepalives/call={keepalives:.1f}")
+
+    # A 5 s keepalive visits ~6x as often and wastes more airtime.
+    assert results[5.0][1] > results[30.0][1] * 2
+    assert results[5.0][0] > results[30.0][0]

@@ -1,0 +1,23 @@
+"""Figure 1: connectable BSSIDs and distinct channels per location.
+
+Paper: median 6 BSSIDs (range 2-13), median 4 distinct channels (2-9);
+~30% of residential clients see more than one BSSID.
+"""
+
+import numpy as np
+
+from repro.experiments.section3 import run_figure1
+
+
+def test_fig1_bssid_scan(benchmark):
+    result = benchmark.pedantic(run_figure1, kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    bssids = result.bssid_counts
+    channels = result.channel_counts
+    assert min(bssids) >= 2                      # everywhere multi-AP
+    assert 4 <= np.median(bssids) <= 8           # paper: 6
+    assert 2 <= np.median(channels) <= 6         # paper: 4
+    assert all(c <= b for b, c in zip(bssids, channels))
+    assert 0.15 < result.residential_multi_fraction < 0.45  # paper ~30%

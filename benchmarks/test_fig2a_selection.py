@@ -1,0 +1,26 @@
+"""Figure 2a: cross-link replication vs link selection.
+
+Paper 90th-percentile worst-5s loss: stronger 37%, better 84%,
+cross-link 4.4%.  Shape checks: cross-link dominates both selection
+policies by a large factor; ``better`` (trial-and-settle) is the worst in
+the tail because channel conditions are non-stationary.
+"""
+
+from conftest import scaled
+
+from repro.experiments.section4 import run_figure2a
+
+
+def test_fig2a_selection(benchmark):
+    result = benchmark.pedantic(
+        run_figure2a,
+        kwargs={"n_runs": scaled(60, 458), "seed": 0},
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    p90_cross = result.p90("cross-link")
+    p90_stronger = result.p90("stronger")
+    p90_better = result.p90("better")
+    assert p90_cross < p90_stronger / 2.5     # paper factor: ~8x
+    assert p90_cross < p90_better / 2.5
+    assert p90_better >= p90_stronger * 0.8   # better is no saviour

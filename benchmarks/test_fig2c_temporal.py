@@ -1,0 +1,28 @@
+"""Figure 2c: cross-link vs temporal replication.
+
+Paper 90th-percentile worst-5s loss: baseline 37.2%, temporal delta=0
+close to baseline, temporal delta=100ms 23.7%, cross-link 4.4%.
+Shape checks: larger temporal spacing helps; cross-link beats any
+temporal spacing (loss bursts outlive the offset).
+"""
+
+from conftest import scaled
+
+from repro.experiments.section4 import run_figure2c
+
+
+def test_fig2c_temporal(benchmark):
+    result = benchmark.pedantic(
+        run_figure2c,
+        kwargs={"n_runs": scaled(60, 458), "seed": 0},
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    p90_baseline = result.p90("baseline")
+    p90_t0 = result.p90("temporal (0ms)")
+    p90_t100 = result.p90("temporal (100ms)")
+    p90_cross = result.p90("cross-link")
+    assert p90_t100 <= p90_t0 + 1.0       # spacing helps
+    assert p90_t100 <= p90_baseline       # replication helps at all
+    assert p90_cross < p90_t100           # cross-link dominates temporal
+    assert p90_cross < p90_baseline / 2.5

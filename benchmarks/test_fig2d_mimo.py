@@ -1,0 +1,24 @@
+"""Figure 2d: cross-link replication on top of 802.11ac-style MIMO.
+
+Paper: even with PHY-layer spatial diversity, MIMO+cross-link has a lower
+worst-window loss than MIMO+selection — shadowing and interference hit
+all co-channel spatial streams at once, so only cross-link diversity
+removes them.
+"""
+
+from conftest import scaled
+
+from repro.experiments.section4 import run_figure2d
+
+
+def test_fig2d_mimo(benchmark):
+    result = benchmark.pedantic(
+        run_figure2d,
+        kwargs={"n_runs": scaled(30, 44), "seed": 0},
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    assert (result.p90("MIMO + cross-link")
+            < result.p90("MIMO + stronger"))
+    assert (result.p90("MIMO + cross-link")
+            < result.p90("MIMO + better"))

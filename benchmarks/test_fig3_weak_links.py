@@ -1,0 +1,20 @@
+"""Figure 3: two weak links combine into one strong one.
+
+Paper's example trace: link A at 4.3% loss, link B at 15.4%, cross-link
+replication at 0.88% — the better link benefits from replication over a
+significantly WORSE one, which pure selection can never achieve.
+"""
+
+from repro.experiments.section4 import run_figure3
+
+
+def test_fig3_weak_links(benchmark):
+    result = benchmark.pedantic(run_figure3, kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    # Both links individually weak...
+    assert result.loss_a_pct > 1.0
+    assert result.loss_b_pct > result.loss_a_pct
+    # ...yet the merge is far better than the better link alone.
+    assert result.loss_combined_pct < result.loss_a_pct / 2.0

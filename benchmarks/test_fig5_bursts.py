@@ -1,0 +1,32 @@
+"""Figure 5: burst-length distribution per strategy.
+
+Paper (per 2-minute call): temporal loses 61.9 packets, 51.0 of them in
+bursts; cross-link loses 25.6, only 15.9 in bursts.  Shape checks:
+cross-link loses fewer packets AND a smaller bursty share than both the
+baseline and temporal replication.
+"""
+
+from conftest import scaled
+
+from repro.experiments.section4 import run_figure5
+
+
+def test_fig5_bursts(benchmark):
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs={"n_runs": scaled(60, 458), "seed": 0},
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    lost = {name: stats[0] for name, stats in result.stats.items()}
+    bursty = {name: stats[1] for name, stats in result.stats.items()}
+
+    assert lost["cross-link"] < lost["temporal (100ms)"]
+    assert lost["cross-link"] < lost["stronger"]
+    assert bursty["cross-link"] < bursty["temporal (100ms)"]
+    # Bursts carry most of temporal's losses but a smaller share of
+    # cross-link's.
+    if lost["cross-link"] > 0 and lost["temporal (100ms)"] > 0:
+        assert (bursty["cross-link"] / lost["cross-link"]
+                <= bursty["temporal (100ms)"] / lost["temporal (100ms)"]
+                + 0.05)

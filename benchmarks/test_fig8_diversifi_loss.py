@@ -1,0 +1,26 @@
+"""Figure 8: single-NIC DiversiFi loss recovery in the office testbed.
+
+Paper (61 runs): 90th-percentile worst-5s loss — primary 11.6%, secondary
+52%, DiversiFi 1.2%; PCR — primary 4.9%, secondary 26.2%, DiversiFi 0%.
+"""
+
+from conftest import scaled
+
+from repro.experiments.section6 import run_figure8
+
+
+def test_fig8_diversifi_loss(benchmark):
+    result = benchmark.pedantic(
+        run_figure8,
+        kwargs={"n_runs": scaled(30, 61), "seed0": 0},
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    # DiversiFi's tail is far below either single link's.
+    assert result.p90("DiversiFi") < result.p90("primary") / 2.5
+    assert result.p90("DiversiFi") < result.p90("secondary") / 2.5
+    # The secondary alone is the worst option.
+    assert result.pcr["secondary"] > result.pcr["primary"]
+    # DiversiFi eliminates (or nearly eliminates) poor calls.
+    assert result.pcr["DiversiFi"] <= result.pcr["primary"] / 2.0
+    assert result.pcr["DiversiFi"] < 3.0          # paper: 0%

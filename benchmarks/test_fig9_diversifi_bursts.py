@@ -1,0 +1,26 @@
+"""Figure 9: burst losses with DiversiFi vs single links.
+
+Paper: the primary alone loses 44.3 packets per call (35.9 in bursts of
+>= 2); DiversiFi loses 2.7 (0.9 in bursts) — both total losses and their
+bursty share collapse.
+"""
+
+from conftest import scaled
+
+from repro.experiments.section6 import run_figure9
+
+
+def test_fig9_diversifi_bursts(benchmark):
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs={"n_runs": scaled(30, 61), "seed0": 0},
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    lost = {name: s[0] for name, s in result.stats.items()}
+    bursty = {name: s[1] for name, s in result.stats.items()}
+
+    assert lost["DiversiFi"] < lost["primary"] / 4.0
+    assert bursty["DiversiFi"] < bursty["primary"] / 4.0
+    # On the primary, the majority of losses are bursty (paper: 36/44).
+    assert bursty["primary"] > 0.5 * lost["primary"]

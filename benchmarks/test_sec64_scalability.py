@@ -1,0 +1,24 @@
+"""Section 6.4: middlebox scalability.
+
+Paper: retrieval delay grows very gradually with concurrent replicated
+streams — only ~1.1 ms extra at 1000 streams, so one middlebox serves a
+large WiFi deployment.
+"""
+
+from conftest import scaled
+
+from repro.experiments.section6 import run_section64_scalability
+
+
+def test_sec64_scalability(benchmark):
+    result = benchmark.pedantic(
+        run_section64_scalability,
+        kwargs={"loads": (0, 10, 100, 500, 1000),
+                "n_events": scaled(10, 20), "seed0": 0},
+        rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    delays = result.total_delay_ms
+    # Monotone-ish growth, tiny slope.
+    assert delays[-1] > delays[0]
+    assert 0.5 < result.extra_at_max_load_ms() < 2.0   # paper: ~1.1 ms

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cloud gaming over WiFi: stalls with and without link hedging.
+
+The paper's intro motivates DiversiFi with cloud gaming as much as with
+VoIP: a rendered frame is useless unless *every* packet of it arrives
+within the interaction deadline, so even sparse packet loss translates
+into visible stalls.  This script streams a 60 fps game feed over the
+wild channel scenarios and reports frame failures and stalls-per-minute
+with single-link selection vs cross-link replication.
+
+Run:  python examples/cloud_gaming.py [n_runs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.packet import merge_traces
+from repro.scenarios import build_scenario
+from repro.sim.random import RandomRouter
+from repro.traffic.gaming import (
+    GameStreamProfile,
+    packetize_game_stream,
+    score_game_session,
+    transmit_game_stream,
+)
+
+PROFILE = GameStreamProfile(duration_s=20.0)
+SCENARIOS = ("weak_link", "congestion", "mobility")
+
+
+def main():
+    n_runs = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    root = RandomRouter(11)
+    print(f"Streaming {PROFILE.duration_s:.0f} s of 60 fps game video "
+          f"({n_runs} run(s) per scenario)...\n")
+    print(f"{'scenario':12s} {'mode':12s} {'failed frames':>13s} "
+          f"{'stalls/min':>10s} {'longest stall':>13s}")
+
+    for scenario in SCENARIOS:
+        singles, hedged = [], []
+        for i in range(n_runs):
+            router = root.fork(f"game-{scenario}-{i}")
+            link_a, link_b = build_scenario(scenario, router)
+            stream = packetize_game_stream(
+                PROFILE, router.stream("frames"))
+            trace_a = transmit_game_stream(stream, link_a)
+            trace_b = transmit_game_stream(stream, link_b)
+            singles.append(score_game_session(stream, trace_a))
+            hedged.append(score_game_session(
+                stream, merge_traces([trace_a, trace_b])))
+        for label, scores in (("single link", singles),
+                              ("cross-link", hedged)):
+            failed = np.mean([s.frame_failure_rate for s in scores])
+            stalls = np.mean([s.stalls_per_minute for s in scores])
+            longest = max(s.longest_stall_ms for s in scores)
+            print(f"{scenario:12s} {label:12s} {failed * 100:12.2f}% "
+                  f"{stalls:10.1f} {longest:10.0f} ms")
+        print()
+
+    print("A frame fails if ANY of its packets misses the 50 ms deadline,")
+    print("so gaming amplifies packet loss ~10x relative to audio — and")
+    print("cross-link diversity pays off correspondingly more.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Middlebox deployment: DiversiFi with completely stock APs.
+
+Demonstrates the Figure 7(c) architecture: an SDN switch replicates the
+real-time flow — one copy to the client via its primary AP, one to a
+Click-style middlebox that buffers it in a shallow head-drop queue.  When
+the client misses a packet on the primary link it switches to the
+(unmodified) secondary AP, sends the middlebox a *start* message, collects
+the buffered packets, sends *stop*, and switches back.
+
+The script compares AP-mode and middlebox-mode recovery on the same
+channel conditions and then sweeps middlebox tenancy to show the
+Section 6.4 scalability result.
+
+Run:  python examples/middlebox_deployment.py
+"""
+
+from repro.core.config import G711_PROFILE
+from repro.core.controller import run_session
+from repro.experiments.section6 import run_section64_scalability
+from repro.scenarios import build_office_pair
+
+
+def run_mode(mode, seed, **kwargs):
+    result = run_session(build_office_pair, mode=mode,
+                         profile=G711_PROFILE, seed=seed, **kwargs)
+    trace = result.effective_trace()
+    return result, trace
+
+
+def main():
+    seed = 5
+    print("Same office channel, three deployments:\n")
+
+    base, base_trace = run_mode("primary-only", seed)
+    print(f"no DiversiFi        : loss={base_trace.loss_rate * 100:.2f}%")
+
+    ap, ap_trace = run_mode("diversifi-ap", seed)
+    print(f"customized AP       : loss={ap_trace.loss_rate * 100:.2f}%  "
+          f"(recovered {ap.client_stats.recovered}, "
+          f"waste {ap.wasteful_duplication_rate() * 100:.2f}%)")
+
+    mbox, mbox_trace = run_mode("diversifi-mbox", seed)
+    stats = mbox.middlebox.stats
+    print(f"stock AP + middlebox: loss={mbox_trace.loss_rate * 100:.2f}%  "
+          f"(recovered {mbox.client_stats.recovered}, "
+          f"start/stop msgs {stats.start_messages}/{stats.stop_messages}, "
+          f"buffered {stats.buffered}, head-drops {stats.buffer_drops})")
+
+    print("\nBoth deployments recover nearly all primary-link losses; the")
+    print("middlebox adds a couple of milliseconds per retrieval but needs")
+    print("no AP changes at all (Table 3).\n")
+
+    print("Middlebox scalability (Section 6.4):")
+    sweep = run_section64_scalability(loads=(0, 100, 1000), n_events=10)
+    for load, ms in zip(sweep.loads, sweep.total_delay_ms):
+        print(f"  {load:5d} concurrent streams -> retrieval delay "
+              f"{ms:.2f} ms")
+    print(f"  extra delay at 1000 streams: "
+          f"{sweep.extra_at_max_load_ms():.2f} ms (paper: ~1.1 ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Uplink DiversiFi: the direction the paper deferred.
+
+On the uplink the client *transmits*, so the missing MAC ACK reveals a
+loss instantly — no network-side buffering, no loss-detection timers, no
+wasteful duplication.  The client simply retransmits the failed packet
+over the secondary link and returns.
+
+This script runs paired uplink calls (hedging on/off) over increasingly
+hostile primary links and prints the recovery.
+
+Run:  python examples/uplink_streaming.py
+"""
+
+from repro.channel.gilbert import GilbertParams
+from repro.channel.link import LinkConfig, WifiLink
+from repro.channel.mobility import Position, StaticPosition
+from repro.core.config import StreamProfile
+from repro.core.uplink import run_uplink_session
+
+PROFILE = StreamProfile(duration_s=30.0)
+
+
+def factory(outage_fraction):
+    """Two uplink candidates; the primary spends ``outage_fraction`` of
+    its time in near-total outage."""
+    mean_bad = 0.4
+    mean_good = mean_bad * (1 - outage_fraction) / max(outage_fraction,
+                                                       1e-6)
+    primary_gilbert = GilbertParams(
+        mean_good_s=mean_good, mean_bad_s=mean_bad,
+        loss_good=0.0, loss_bad=0.995)
+    clean = GilbertParams(mean_good_s=1e9, mean_bad_s=0.01,
+                          loss_good=0.0, loss_bad=0.0)
+
+    def build(router):
+        client = StaticPosition(Position(0, 0))
+        primary = WifiLink(
+            LinkConfig(name="up-primary", ap_position=Position(7, 0),
+                       gilbert=primary_gilbert, base_delay_s=0.0),
+            router, mobility=client)
+        secondary = WifiLink(
+            LinkConfig(name="up-secondary", ap_position=Position(11, 0),
+                       gilbert=clean, base_delay_s=0.0),
+            router, mobility=client)
+        return primary, secondary
+
+    return build
+
+
+def main():
+    print("Uplink streaming, 30 s G.711 calls "
+          "(loss within the 100 ms deadline):\n")
+    print(f"{'primary outage':>14s}  {'plain loss':>10s}  "
+          f"{'hedged loss':>11s}  {'retx':>5s}  {'switches':>8s}")
+    for outage in (0.01, 0.03, 0.08):
+        build = factory(outage)
+        plain = run_uplink_session(build, PROFILE, seed=7, enabled=False)
+        hedged = run_uplink_session(build, PROFILE, seed=7, enabled=True)
+        plain_loss = plain.trace.effective_trace(0.100).loss_rate
+        hedged_loss = hedged.trace.effective_trace(0.100).loss_rate
+        print(f"{outage * 100:13.0f}%  {plain_loss * 100:9.2f}%  "
+              f"{hedged_loss * 100:10.2f}%  "
+              f"{hedged.stats.retransmissions:5d}  "
+              f"{hedged.stats.switches:8d}")
+
+    print("\nEvery retransmission is loss-triggered: the uplink needs no")
+    print("proactive duplication at all, matching the paper's intuition")
+    print("that the uplink direction is the easy one (Section 5).")
+
+
+if __name__ == "__main__":
+    main()

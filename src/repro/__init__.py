@@ -1,0 +1,45 @@
+"""DiversiFi — robust multi-link interactive streaming (CoNEXT '15),
+reproduced in Python.
+
+Top-level convenience imports cover the most common entry points; the
+full API lives in the subpackages (see README.md for the architecture):
+
+* :mod:`repro.core` — strategies, the DiversiFi client, session control.
+* :mod:`repro.scenarios` — channel scenarios (wild mix, office testbed).
+* :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.voice` — G.711 / playout / E-model / PCR pipeline.
+
+Quick start::
+
+    from repro import run_session, build_office_pair, G711_PROFILE
+    result = run_session(build_office_pair, mode="diversifi-ap",
+                         profile=G711_PROFILE, seed=1)
+    print(result.effective_trace().loss_rate)
+"""
+
+from repro.core.config import (
+    APConfig,
+    ClientConfig,
+    G711_PROFILE,
+    HIGH_RATE_PROFILE,
+    MiddleboxConfig,
+    StreamProfile,
+)
+from repro.core.controller import SessionResult, run_session
+from repro.scenarios import build_office_pair, generate_wild_runs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APConfig",
+    "ClientConfig",
+    "G711_PROFILE",
+    "HIGH_RATE_PROFILE",
+    "MiddleboxConfig",
+    "SessionResult",
+    "StreamProfile",
+    "build_office_pair",
+    "generate_wild_runs",
+    "run_session",
+    "__version__",
+]

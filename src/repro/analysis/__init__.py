@@ -1,0 +1,48 @@
+"""Metrics and statistics used by every experiment.
+
+* :mod:`repro.analysis.windows` — worst 5-second-window loss, the paper's
+  headline network metric (Section 4's "worst 5-second period").
+* :mod:`repro.analysis.bursts` — loss burst-length distributions
+  (Figures 5 and 9).
+* :mod:`repro.analysis.correlation` — auto/cross-correlation of the loss
+  process (Figure 4).
+* :mod:`repro.analysis.cdf` — empirical CDFs and percentile helpers.
+* :mod:`repro.analysis.report` — ASCII table/series renderers that print
+  the same rows the paper reports.
+"""
+
+from repro.analysis.bursts import burst_histogram, burst_lengths, burst_stats
+from repro.analysis.cdf import EmpiricalCdf, percentile
+from repro.analysis.correlation import (
+    loss_autocorrelation,
+    loss_crosscorrelation,
+)
+from repro.analysis.fitting import GilbertFit, fit_gilbert
+from repro.analysis.summary import (
+    bootstrap_interval,
+    improvement_factor_interval,
+    paired_difference_interval,
+    permutation_pvalue,
+)
+from repro.analysis.windows import (
+    window_loss_rates,
+    worst_window_loss,
+)
+
+__all__ = [
+    "EmpiricalCdf",
+    "GilbertFit",
+    "bootstrap_interval",
+    "burst_histogram",
+    "burst_lengths",
+    "burst_stats",
+    "fit_gilbert",
+    "improvement_factor_interval",
+    "loss_autocorrelation",
+    "loss_crosscorrelation",
+    "paired_difference_interval",
+    "percentile",
+    "permutation_pvalue",
+    "window_loss_rates",
+    "worst_window_loss",
+]

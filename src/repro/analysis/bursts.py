@@ -1,0 +1,86 @@
+"""Loss burst statistics.
+
+Burst losses are the real enemy of interactive audio: concealment can paper
+over an isolated 20 ms gap, but consecutive losses produce audible
+artifacts.  Figures 5 and 9 plot the distribution of burst lengths and the
+split between isolated and bursty losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.core.packet import LinkTrace
+
+
+def _loss_array(trace: Union[LinkTrace, np.ndarray]) -> np.ndarray:
+    if isinstance(trace, LinkTrace):
+        return trace.loss_indicator
+    return np.asarray(trace, dtype=float)
+
+
+def burst_lengths(trace: Union[LinkTrace, np.ndarray]) -> List[int]:
+    """Lengths of maximal runs of consecutive losses."""
+    losses = _loss_array(trace) > 0.5
+    lengths: List[int] = []
+    run = 0
+    for lost in losses:
+        if lost:
+            run += 1
+        elif run:
+            lengths.append(run)
+            run = 0
+    if run:
+        lengths.append(run)
+    return lengths
+
+
+def burst_histogram(traces, max_bucket: int = 10) -> Dict[str, float]:
+    """Average per-call count of bursts by length (Figure 5/9 bars).
+
+    Buckets "1".."{max_bucket}" plus ">{max_bucket}".  ``traces`` is a
+    sequence of calls; counts are averaged across them.
+    """
+    buckets = {str(i): 0.0 for i in range(1, max_bucket + 1)}
+    buckets[f">{max_bucket}"] = 0.0
+    n_calls = 0
+    for trace in traces:
+        n_calls += 1
+        for length in burst_lengths(trace):
+            key = str(length) if length <= max_bucket else f">{max_bucket}"
+            buckets[key] += length  # packets lost in bursts of this length
+    if n_calls:
+        for key in buckets:
+            buckets[key] /= n_calls
+    return buckets
+
+
+@dataclass
+class BurstStats:
+    """Per-call averages of total vs bursty losses (paper Section 4.2/6.2)."""
+
+    mean_lost: float
+    mean_lost_in_bursts: float
+
+    @property
+    def bursty_fraction(self) -> float:
+        if self.mean_lost == 0:
+            return 0.0
+        return self.mean_lost_in_bursts / self.mean_lost
+
+
+def burst_stats(traces) -> BurstStats:
+    """Average packets lost per call, and the share in bursts of >= 2."""
+    total, bursty, n_calls = 0.0, 0.0, 0
+    for trace in traces:
+        n_calls += 1
+        for length in burst_lengths(trace):
+            total += length
+            if length >= 2:
+                bursty += length
+    if n_calls == 0:
+        return BurstStats(0.0, 0.0)
+    return BurstStats(total / n_calls, bursty / n_calls)

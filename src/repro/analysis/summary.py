@@ -1,0 +1,123 @@
+"""Statistical comparison helpers for experiment results.
+
+Reproduction claims live or die on whether differences are real; these
+utilities provide the nonparametric machinery the benchmark assertions
+lean on informally:
+
+* bootstrap confidence intervals for means/quantiles of per-run metrics;
+* paired-difference bootstrap (the Section 4 strategy comparisons are
+  paired by construction — same channel realization per run);
+* a permutation test for "strategy A beats strategy B".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A bootstrap interval for a statistic."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:   # pragma: no cover - convenience
+        return (f"{self.point:.3f} "
+                f"[{self.low:.3f}, {self.high:.3f}]"
+                f"@{self.confidence:.0%}")
+
+
+def bootstrap_interval(samples: Sequence[float],
+                       statistic: Callable[[np.ndarray], float] = np.mean,
+                       confidence: float = 0.95,
+                       n_resamples: int = 2000,
+                       seed: int = 0) -> Interval:
+    """Percentile-bootstrap CI for ``statistic`` of ``samples``."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("no samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resample = data[rng.integers(0, data.size, size=data.size)]
+        stats[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return Interval(point=float(statistic(data)),
+                    low=float(np.quantile(stats, alpha)),
+                    high=float(np.quantile(stats, 1.0 - alpha)),
+                    confidence=confidence)
+
+
+def paired_difference_interval(a: Sequence[float], b: Sequence[float],
+                               confidence: float = 0.95,
+                               n_resamples: int = 2000,
+                               seed: int = 0) -> Interval:
+    """Bootstrap CI for mean(a - b) over paired per-run metrics."""
+    a = np.asarray(list(a), dtype=float)
+    b = np.asarray(list(b), dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have equal length")
+    return bootstrap_interval(a - b, confidence=confidence,
+                              n_resamples=n_resamples, seed=seed)
+
+
+def permutation_pvalue(a: Sequence[float], b: Sequence[float],
+                       n_permutations: int = 5000,
+                       seed: int = 0) -> float:
+    """One-sided paired sign-flip test for mean(a) < mean(b).
+
+    Returns the probability, under random sign flips of the paired
+    differences, of seeing a mean difference at least as negative as
+    observed.  Small p => strategy A genuinely scores lower than B.
+    """
+    a = np.asarray(list(a), dtype=float)
+    b = np.asarray(list(b), dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have equal length")
+    diffs = a - b
+    observed = diffs.mean()
+    rng = np.random.default_rng(seed)
+    count = 0
+    for _ in range(n_permutations):
+        signs = rng.choice((-1.0, 1.0), size=diffs.size)
+        if (diffs * signs).mean() <= observed:
+            count += 1
+    return (count + 1) / (n_permutations + 1)
+
+
+def improvement_factor_interval(baseline: Sequence[float],
+                                treatment: Sequence[float],
+                                confidence: float = 0.95,
+                                n_resamples: int = 2000,
+                                seed: int = 0) -> Interval:
+    """Bootstrap CI for mean(baseline)/mean(treatment) — the "2.24x"
+    style headline numbers (PCR cut factors)."""
+    base = np.asarray(list(baseline), dtype=float)
+    treat = np.asarray(list(treatment), dtype=float)
+    if base.size == 0 or treat.size == 0:
+        raise ValueError("no samples")
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for _ in range(n_resamples):
+        rb = base[rng.integers(0, base.size, size=base.size)]
+        rt = treat[rng.integers(0, treat.size, size=treat.size)]
+        denominator = max(rt.mean(), 1e-12)
+        ratios.append(rb.mean() / denominator)
+    ratios = np.asarray(ratios)
+    alpha = (1.0 - confidence) / 2.0
+    point = base.mean() / max(treat.mean(), 1e-12)
+    return Interval(point=float(point),
+                    low=float(np.quantile(ratios, alpha)),
+                    high=float(np.quantile(ratios, 1.0 - alpha)),
+                    confidence=confidence)

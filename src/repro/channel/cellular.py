@@ -1,0 +1,96 @@
+"""A cellular (LTE-like) link model for cross-technology hedging.
+
+Section 4.4 defers WiFi+cellular replication to future work; this module
+provides the substrate to explore it.  Compared to WiFi, a cellular link
+has:
+
+* higher, more variable base latency (scheduling grants, core-network
+  detour — tens of milliseconds);
+* very low steady-state loss (HARQ) but occasional multi-second outages
+  (handover, coverage gaps);
+* a metered cost, so hedging policies must budget duplicate bytes.
+
+The model mirrors :class:`repro.channel.link.WifiLink`'s interface
+(``transmit`` / ``generate_trace``) so the Section 4 strategy machinery
+can consume it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.gilbert import GilbertElliott, GilbertParams
+from repro.core.config import StreamProfile
+from repro.core.packet import DeliveryRecord, LinkTrace
+
+
+@dataclass
+class CellularConfig:
+    """LTE-like link parameters."""
+
+    name: str = "lte"
+    base_delay_s: float = 0.040
+    jitter_scale_s: float = 0.008
+    #: residual post-HARQ loss probability in coverage
+    residual_loss: float = 0.0005
+    #: outage process: rare but long (handover / coverage gaps)
+    outage: GilbertParams = field(default_factory=lambda: GilbertParams(
+        mean_good_s=120.0, mean_bad_s=2.0,
+        loss_good=0.0, loss_bad=1.0))
+    #: cost per duplicated megabyte (policy input, not simulated money)
+    cost_per_mb: float = 1.0
+
+
+class CellularLink:
+    """An LTE-like link with HARQ-clean loss and rare deep outages."""
+
+    def __init__(self, config: CellularConfig, rng_router):
+        self.config = config
+        self.name = config.name
+        prefix = f"cell.{config.name}"
+        self._rng = rng_router.stream(f"{prefix}.loss")
+        self._rng_delay = rng_router.stream(f"{prefix}.delay")
+        self._outage = GilbertElliott(
+            config.outage, rng_router.stream(f"{prefix}.outage"))
+        self.bytes_sent = 0
+
+    def attempt_loss_prob(self, time: float) -> float:
+        """Loss probability at ``time`` (outage dominates)."""
+        p_outage = self._outage.loss_probability(time)
+        return 1.0 - (1.0 - p_outage) * (1.0 - self.config.residual_loss)
+
+    def transmit(self, seq: int, send_time: float,
+                 frame_bytes: int = 160) -> DeliveryRecord:
+        """Send one packet copy over the cellular path."""
+        self.bytes_sent += frame_bytes
+        lost = self._rng.random() < self.attempt_loss_prob(send_time)
+        if lost:
+            return DeliveryRecord(seq=seq, send_time=send_time,
+                                  delivered=False)
+        delay = (self.config.base_delay_s
+                 + float(self._rng_delay.lognormal(0.0, 1.0)
+                         * self.config.jitter_scale_s))
+        return DeliveryRecord(seq=seq, send_time=send_time, delivered=True,
+                              arrival_time=send_time + delay)
+
+    def generate_trace(self, profile: StreamProfile,
+                       start_time: float = 0.0) -> LinkTrace:
+        """Render a whole call over the cellular link."""
+        n = profile.n_packets
+        send_times = (start_time
+                      + np.arange(n) * profile.inter_packet_spacing_s)
+        delivered = np.zeros(n, dtype=bool)
+        delays = np.full(n, np.nan)
+        for seq in range(n):
+            record = self.transmit(seq, float(send_times[seq]),
+                                   profile.packet_size_bytes)
+            delivered[seq] = record.delivered
+            if record.delivered:
+                delays[seq] = record.delay
+        return LinkTrace(self.name, send_times, delivered, delays)
+
+    def duplicate_cost(self) -> float:
+        """Metered cost of the bytes sent so far (policy input)."""
+        return self.bytes_sent / 1e6 * self.config.cost_per_mb

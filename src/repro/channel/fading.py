@@ -1,0 +1,106 @@
+"""Small-scale fading: Rayleigh and Rician envelopes with Doppler memory.
+
+Fading is modelled as a complex Gaussian process sampled at packet times
+with an autocorrelation set by the channel coherence time (Clarke's model
+approximated by an AR(1) on the complex gain, which preserves the envelope
+distribution and the coherence-time scaling that matter here).
+
+The per-packet *fade margin* in dB is added to the slow-fading SNR before
+the PHY error model.  Multiple MIMO spatial streams draw independent fading
+chains — that is precisely the PHY-layer diversity of Section 4.3, and why
+MIMO helps against multipath fading but not against shadowing/interference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RayleighFading:
+    """Rayleigh-faded channel gain with AR(1) temporal correlation."""
+
+    def __init__(self, rng: np.random.Generator,
+                 coherence_time_s: float = 0.050):
+        if coherence_time_s <= 0:
+            raise ValueError("coherence time must be positive")
+        self._rng = rng
+        self.coherence_time_s = coherence_time_s
+        self._time = None
+        # complex gain, unit average power: Re/Im ~ N(0, 1/2)
+        self._gain = self._fresh_gain()
+
+    def _fresh_gain(self) -> complex:
+        re, im = self._rng.normal(0.0, np.sqrt(0.5), size=2)
+        return complex(re, im)
+
+    def _rho(self, dt: float) -> float:
+        # AR(1) correlation decaying on the coherence timescale.
+        return float(np.exp(-dt / self.coherence_time_s))
+
+    def gain_at(self, time: float) -> complex:
+        """Complex channel gain at ``time`` (non-decreasing queries)."""
+        if self._time is None:
+            self._time = time
+            return self._gain
+        dt = time - self._time
+        if dt < -1e-12:
+            raise ValueError("fading process queried backwards")
+        if dt > 0:
+            rho = self._rho(dt)
+            sigma = np.sqrt(max(0.0, (1.0 - rho ** 2) / 2.0))
+            innovation = complex(self._rng.normal(0.0, sigma),
+                                 self._rng.normal(0.0, sigma))
+            self._gain = rho * self._gain + innovation
+            self._time = time
+        return self._gain
+
+    def fade_db(self, time: float) -> float:
+        """Instantaneous fade relative to average power, in dB."""
+        power = abs(self.gain_at(time)) ** 2
+        return float(10.0 * np.log10(max(power, 1e-12)))
+
+
+class RicianFading(RayleighFading):
+    """Rician fading: a line-of-sight component plus Rayleigh scatter.
+
+    ``k_factor_db`` is the LOS-to-scatter power ratio; higher K means
+    shallower fades (typical for a client near its AP).
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 coherence_time_s: float = 0.050,
+                 k_factor_db: float = 6.0):
+        super().__init__(rng, coherence_time_s)
+        k = 10.0 ** (k_factor_db / 10.0)
+        self._los_amplitude = np.sqrt(k / (k + 1.0))
+        self._scatter_scale = np.sqrt(1.0 / (k + 1.0))
+
+    def fade_db(self, time: float) -> float:
+        scatter = self.gain_at(time) * self._scatter_scale
+        total = self._los_amplitude + scatter
+        power = abs(total) ** 2
+        return float(10.0 * np.log10(max(power, 1e-12)))
+
+
+class SelectionDiversityFading:
+    """Best-of-N independent fading branches (MIMO receive diversity).
+
+    A first-order model of MRC/selection combining across spatial streams:
+    the effective fade is the max over branches, which removes most deep
+    multipath fades (Section 4.3's PHY-layer diversity).
+    """
+
+    def __init__(self, rng: np.random.Generator, n_branches: int = 2,
+                 coherence_time_s: float = 0.050):
+        if n_branches < 1:
+            raise ValueError("need at least one branch")
+        self._branches = [RayleighFading(rng, coherence_time_s)
+                          for _ in range(n_branches)]
+
+    @property
+    def n_branches(self) -> int:
+        return len(self._branches)
+
+    def fade_db(self, time: float) -> float:
+        """Best branch fade in dB at ``time``."""
+        return max(branch.fade_db(time) for branch in self._branches)

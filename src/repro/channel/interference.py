@@ -1,0 +1,167 @@
+"""External interference and congestion processes.
+
+These are the impairments that PHY-layer (MIMO) diversity cannot remove
+because they hit all co-channel spatial streams at once (Section 4.3), and
+that make RSSI a poor predictor of link quality (Section 4.1):
+
+* :class:`MicrowaveOven` — a duty-cycled wideband jammer on the 2.4 GHz
+  band.  Domestic ovens radiate for roughly half of each mains cycle, so
+  the model is a periodic ~50% duty cycle at 50/60 Hz with slow on/off
+  episodes (ovens run for tens of seconds at a time).
+* :class:`CongestionProcess` — co-channel contention: bursty medium
+  occupancy that inflates queuing delay and collision probability.
+* :class:`NullInterference` — the quiet-channel stub.
+
+Each process answers two time-indexed queries used by the link model:
+``snr_penalty_db(time)`` and ``extra_delay_s(time, rng)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NullInterference:
+    """A quiet channel: no SNR penalty, no extra delay."""
+
+    def snr_penalty_db(self, time: float) -> float:
+        return 0.0
+
+    def extra_delay_s(self, time: float, rng: np.random.Generator) -> float:
+        return 0.0
+
+
+class MicrowaveOven:
+    """Duty-cycled wideband interference on 2.4 GHz channels.
+
+    The oven is "running" during episodes that start as a Poisson process
+    (mean ``episode_rate_hz``) and last ``episode_duration_s``; while
+    running, it radiates during ``duty_cycle`` of each mains period,
+    imposing a large SNR penalty on affected channels.
+
+    Channels: magnetron sweep hits most of the 2.4 GHz band; the model
+    applies to any link constructed with ``affected=True`` (the scenario
+    layer marks 2.4 GHz links as affected and 5 GHz links as immune).
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 episode_rate_hz: float = 1.0 / 60.0,
+                 episode_duration_s: float = 20.0,
+                 mains_period_s: float = 0.020,
+                 duty_cycle: float = 0.5,
+                 penalty_db: float = 25.0,
+                 floor_penalty_db: float = 10.0,
+                 affected: bool = True):
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError("duty cycle must lie in (0, 1]")
+        self._rng = rng
+        self.episode_rate_hz = episode_rate_hz
+        self.episode_duration_s = episode_duration_s
+        self.mains_period_s = mains_period_s
+        self.duty_cycle = duty_cycle
+        self.penalty_db = penalty_db
+        #: noise-floor rise for the WHOLE episode (wideband splatter,
+        #: deferrals, rate-control collapse) — the component MAC retries
+        #: cannot dodge by landing in the magnetron's off-phase
+        self.floor_penalty_db = floor_penalty_db
+        self.affected = affected
+        self._episode_start = self._draw_next_start(0.0)
+
+    def _draw_next_start(self, after: float) -> float:
+        gap = self._rng.exponential(1.0 / self.episode_rate_hz)
+        return after + gap
+
+    def _advance(self, time: float) -> None:
+        while time > self._episode_start + self.episode_duration_s:
+            self._episode_start = self._draw_next_start(
+                self._episode_start + self.episode_duration_s)
+
+    def is_on(self, time: float) -> bool:
+        """True while an oven episode is running (any phase)."""
+        if not self.affected:
+            return False
+        self._advance(time)
+        return time >= self._episode_start
+
+    def is_radiating(self, time: float) -> bool:
+        """True when the oven is on *and* in the radiating half-cycle."""
+        if not self.is_on(time):
+            return False
+        phase = (time % self.mains_period_s) / self.mains_period_s
+        return phase < self.duty_cycle
+
+    def snr_penalty_db(self, time: float) -> float:
+        if not self.is_on(time):
+            return 0.0
+        if self.is_radiating(time):
+            return self.penalty_db
+        return self.floor_penalty_db
+
+    def extra_delay_s(self, time: float, rng: np.random.Generator) -> float:
+        # Deferred medium access while the magnetron radiates.
+        if self.is_radiating(time):
+            return float(rng.uniform(0.0, self.mains_period_s
+                                     * self.duty_cycle))
+        return 0.0
+
+
+class CongestionProcess:
+    """Bursty co-channel contention from neighbouring traffic.
+
+    Modelled as an on/off (busy/idle) renewal process; when busy, packets
+    see queueing delay (exponential, mean ``busy_delay_s``) and a collision
+    SNR penalty applied probabilistically per attempt.
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 mean_busy_s: float = 0.5,
+                 mean_idle_s: float = 2.0,
+                 busy_delay_s: float = 0.015,
+                 collision_prob: float = 0.3,
+                 collision_penalty_db: float = 15.0):
+        self._rng = rng
+        self.mean_busy_s = mean_busy_s
+        self.mean_idle_s = mean_idle_s
+        self.busy_delay_s = busy_delay_s
+        self.collision_prob = collision_prob
+        self.collision_penalty_db = collision_penalty_db
+        self._busy = rng.random() < (mean_busy_s
+                                     / (mean_busy_s + mean_idle_s))
+        self._time = 0.0
+        self._next_flip = self._draw_sojourn()
+
+    def _draw_sojourn(self) -> float:
+        mean = self.mean_busy_s if self._busy else self.mean_idle_s
+        return self._time + float(self._rng.exponential(mean))
+
+    def is_busy(self, time: float) -> bool:
+        """Medium-busy indicator at ``time`` (non-decreasing queries)."""
+        while self._next_flip <= time:
+            self._busy = not self._busy
+            self._time = self._next_flip
+            self._next_flip = self._draw_sojourn()
+        self._time = max(self._time, time)
+        return self._busy
+
+    def snr_penalty_db(self, time: float) -> float:
+        if self.is_busy(time) and self._rng.random() < self.collision_prob:
+            return self.collision_penalty_db
+        return 0.0
+
+    def extra_delay_s(self, time: float, rng: np.random.Generator) -> float:
+        if self.is_busy(time):
+            return float(rng.exponential(self.busy_delay_s))
+        return 0.0
+
+
+class CompositeInterference:
+    """Sum of several interference processes acting on one link."""
+
+    def __init__(self, *processes):
+        self._processes = list(processes)
+
+    def snr_penalty_db(self, time: float) -> float:
+        return sum(p.snr_penalty_db(time) for p in self._processes)
+
+    def extra_delay_s(self, time: float, rng: np.random.Generator) -> float:
+        return sum(p.extra_delay_s(time, rng) for p in self._processes)

@@ -1,0 +1,234 @@
+"""WifiLink: composition of propagation, fading, burst loss, interference
+and MAC retransmission into per-packet outcomes.
+
+One :class:`WifiLink` represents a client association to one AP on one
+channel.  The Section 4 experiments render whole-call :class:`LinkTrace`
+objects via :meth:`WifiLink.generate_trace`; the Section 6 event-driven
+system uses :meth:`WifiLink.transmit` per packet.
+
+Loss composition per MAC attempt at time t::
+
+    SNR(t)   = SNR_rssi(position(t)) + fade(t) - interference_penalty(t)
+    p_phy(t) = frame_error_prob(SNR(t), mcs)
+    p(t)     = 1 - (1 - p_phy(t)) * (1 - p_gilbert(t))
+
+The Gilbert–Elliott term models loss causes invisible to the SNR budget
+(hidden terminals, collisions, firmware hiccups) and carries the burst
+structure that Figure 4/5 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.fading import (
+    RayleighFading,
+    RicianFading,
+    SelectionDiversityFading,
+)
+from repro.channel.gilbert import GilbertElliott, GilbertParams
+from repro.channel.interference import NullInterference
+from repro.channel.mobility import Position, StaticPosition
+from repro.channel.pathloss import LogDistancePathLoss, PathLossParams
+from repro.core.packet import DeliveryRecord, LinkTrace
+from repro.core.config import StreamProfile
+from repro.wifi.mac import MacConfig, MacLayer
+from repro.wifi.phy import (
+    PhyConfig,
+    airtime_s,
+    effective_snr_db,
+    frame_error_prob,
+    select_mcs,
+)
+
+
+@dataclass
+class LinkConfig:
+    """Static description of one client–AP link."""
+
+    name: str = "link"
+    band: str = "2.4GHz"
+    channel: int = 1
+    ap_position: Position = field(default_factory=lambda: Position(1.0, 1.0))
+    pathloss: PathLossParams = field(default_factory=PathLossParams)
+    gilbert: GilbertParams = field(default_factory=GilbertParams)
+    phy: PhyConfig = field(default_factory=PhyConfig)
+    mac: MacConfig = field(default_factory=MacConfig)
+    #: None -> Rayleigh fading; a K-factor in dB -> Rician
+    rician_k_db: Optional[float] = None
+    coherence_time_s: float = 0.050
+    #: fixed wired-side + AP processing delay before the air interface
+    base_delay_s: float = 0.004
+    #: how often mobility re-rolls the shadowing term
+    shadowing_update_s: float = 1.0
+    #: redraw shadowing even for a static client (doors, people, carts —
+    #: the environment moves even when the client does not)
+    environment_drift: bool = False
+    #: how often rate control re-selects the MCS from the current mean SNR
+    #: (Minstrel-style long-term adaptation)
+    rate_update_interval_s: float = 1.0
+
+
+class WifiLink:
+    """A live link: stateful channel processes plus a MAC retry engine."""
+
+    def __init__(self, config: LinkConfig, rng_router, mobility=None,
+                 interference=None):
+        self.config = config
+        self.name = config.name
+        prefix = f"link.{config.name}"
+        self._rng_loss = rng_router.stream(f"{prefix}.loss")
+        self._rng_delay = rng_router.stream(f"{prefix}.delay")
+        self._pathloss = LogDistancePathLoss(
+            config.pathloss, rng_router.stream(f"{prefix}.shadow"))
+        fading_rng = rng_router.stream(f"{prefix}.fading")
+        if config.phy.n_spatial_branches > 1:
+            self._fading = SelectionDiversityFading(
+                fading_rng, config.phy.n_spatial_branches,
+                config.coherence_time_s)
+        elif config.rician_k_db is not None:
+            self._fading = RicianFading(
+                fading_rng, config.coherence_time_s, config.rician_k_db)
+        else:
+            self._fading = RayleighFading(
+                fading_rng, config.coherence_time_s)
+        self._gilbert = GilbertElliott(
+            config.gilbert, rng_router.stream(f"{prefix}.gilbert"))
+        self._mobility = mobility or StaticPosition(Position(10.0, 7.0))
+        self._interference = interference or NullInterference()
+        self._mac = MacLayer(config.mac,
+                             rng_router.stream(f"{prefix}.mac"))
+        self._last_shadow_update = 0.0
+        # Channel processes require non-decreasing query times, but MAC
+        # retry bursts for one packet can overrun the next packet's send
+        # time.  The query clock monotonicizes: a query "in the past" is
+        # answered with the current channel state (the skew is < a few ms,
+        # far below every process's coherence timescale).
+        self._query_clock = 0.0
+        # Rate adaptation off the initial average SNR; re-run periodically.
+        self._mcs = select_mcs(self.mean_snr_db(0.0), config.phy)
+        self._last_rate_update = 0.0
+
+    def _clock(self, time: float) -> float:
+        self._query_clock = max(self._query_clock, time)
+        return self._query_clock
+
+    # ------------------------------------------------------------------
+    # observables
+
+    def distance_m(self, time: float) -> float:
+        """Current AP–client distance."""
+        return self._mobility.position_at(self._clock(time)).distance_to(
+            self.config.ap_position)
+
+    def rssi_dbm(self, time: float) -> float:
+        """What the OS sees — drives the ``stronger`` selection policy."""
+        self._maybe_update_shadowing(time)
+        return self._pathloss.rssi_dbm(self.distance_m(time))
+
+    def mean_snr_db(self, time: float) -> float:
+        """Slow (RSSI-derived) SNR, before fading and interference."""
+        self._maybe_update_shadowing(time)
+        return self._pathloss.snr_db(self.distance_m(time))
+
+    @property
+    def mcs(self):
+        """The currently selected modulation-and-coding scheme."""
+        return self._mcs
+
+    # ------------------------------------------------------------------
+    # channel evolution
+
+    def _maybe_update_shadowing(self, time: float) -> None:
+        moving = self._mobility.is_moving or self.config.environment_drift
+        if (moving and time - self._last_shadow_update
+                >= self.config.shadowing_update_s):
+            self._pathloss.redraw_shadowing()
+            self._last_shadow_update = time
+
+    def _maybe_update_rate(self, time: float) -> None:
+        if (time - self._last_rate_update
+                >= self.config.rate_update_interval_s):
+            self._mcs = select_mcs(self.mean_snr_db(time), self.config.phy)
+            self._last_rate_update = time
+
+    def attempt_loss_prob(self, time: float) -> float:
+        """Per-MAC-attempt loss probability at ``time``."""
+        time = self._clock(time)
+        self._maybe_update_rate(time)
+        snr = effective_snr_db(
+            self.mean_snr_db(time),
+            self._fading.fade_db(time),
+            self._interference.snr_penalty_db(time))
+        p_phy = frame_error_prob(
+            snr, self._mcs, self.config.phy.reference_frame_bytes)
+        p_ge = self._gilbert.loss_probability(time)
+        return 1.0 - (1.0 - p_phy) * (1.0 - p_ge)
+
+    # ------------------------------------------------------------------
+    # transmission
+
+    def transmit(self, seq: int, send_time: float,
+                 frame_bytes: int = 160) -> DeliveryRecord:
+        """Send one packet copy; returns its delivery record.
+
+        ``send_time`` is when the packet reaches the AP's transmit queue
+        for this client (wired-side delay already included by the caller
+        for system-mode runs; trace mode adds ``base_delay_s`` here).
+        """
+        queue_delay = self._interference.extra_delay_s(
+            send_time, self._rng_delay)
+        air_start = send_time + self.config.base_delay_s + queue_delay
+        per_attempt_airtime = airtime_s(frame_bytes, self._mcs)
+        result = self._mac.transmit(
+            air_start, self.attempt_loss_prob, per_attempt_airtime)
+        arrival = air_start + result.service_time_s
+        return DeliveryRecord(
+            seq=seq, send_time=send_time, delivered=result.delivered,
+            arrival_time=arrival if result.delivered else float("nan"))
+
+    def generate_trace(self, profile: StreamProfile,
+                       start_time: float = 0.0) -> LinkTrace:
+        """Render a whole call's outcomes as a :class:`LinkTrace`."""
+        n = profile.n_packets
+        send_times = (start_time
+                      + np.arange(n) * profile.inter_packet_spacing_s)
+        delivered = np.zeros(n, dtype=bool)
+        delays = np.full(n, np.nan)
+        for seq in range(n):
+            record = self.transmit(seq, float(send_times[seq]),
+                                   profile.packet_size_bytes)
+            delivered[seq] = record.delivered
+            if record.delivered:
+                delays[seq] = record.delay
+        return LinkTrace(self.name, send_times, delivered, delays)
+
+
+def paired_links(config_a: LinkConfig, config_b: LinkConfig, rng_router,
+                 mobility=None, shared_interference=None,
+                 interference_a=None, interference_b=None):
+    """Two links for one client, as in the two-NIC experiments.
+
+    ``shared_interference`` (e.g. one :class:`MicrowaveOven` hitting both
+    2.4 GHz channels) induces cross-link loss correlation; per-link
+    interference keeps them independent.  A shared mobility model moves the
+    client relative to both APs at once.
+    """
+    def combine(own):
+        if shared_interference is None and own is None:
+            return None
+        if shared_interference is None:
+            return own
+        if own is None:
+            return shared_interference
+        from repro.channel.interference import CompositeInterference
+        return CompositeInterference(shared_interference, own)
+
+    link_a = WifiLink(config_a, rng_router, mobility=mobility,
+                      interference=combine(interference_a))
+    link_b = WifiLink(config_b, rng_router, mobility=mobility,
+                      interference=combine(interference_b))
+    return link_a, link_b

@@ -1,0 +1,130 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig8                 # default (fast) run counts
+    python -m repro fig2a --runs 458     # paper-scale
+    python -m repro table1 --seed 7
+    python -m repro all                  # everything, fast scale
+
+Each command prints the same rows/series the paper reports (the renderers
+in :mod:`repro.analysis.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import experiments
+
+#: command -> (runner(runs, seed) -> result, default runs, description)
+_COMMANDS: Dict[str, Tuple[Callable, Optional[int], str]] = {
+    "table1": (lambda runs, seed: experiments.run_table1(
+        n_calls=runs or 120_000, seed=seed),
+        None, "provider-year PCR subset analysis"),
+    "table2": (lambda runs, seed: experiments.run_table2(
+        seed=seed, scale=(runs or 2306) / 9224.0),
+        None, "NetTest PCR by call category"),
+    "table3": (lambda runs, seed: experiments.run_table3(
+        n_events=runs or 100, seed0=seed),
+        100, "recovery-delay breakdown (AP vs middlebox)"),
+    "fig1": (lambda runs, seed: experiments.run_figure1(seed=seed),
+             None, "BSSID availability survey"),
+    "fig2a": (lambda runs, seed: experiments.run_figure2a(
+        n_runs=runs or 60, seed=seed), 60,
+        "cross-link vs stronger/better selection"),
+    "fig2b": (lambda runs, seed: experiments.run_figure2b(
+        n_runs=runs or 60, seed=seed), 60, "cross-link vs Divert"),
+    "fig2c": (lambda runs, seed: experiments.run_figure2c(
+        n_runs=runs or 60, seed=seed), 60,
+        "cross-link vs temporal replication"),
+    "fig2d": (lambda runs, seed: experiments.run_figure2d(
+        n_runs=runs or 30, seed=seed), 30, "on top of MIMO"),
+    "fig2e": (lambda runs, seed: experiments.run_figure2e(
+        n_runs=runs or 16, seed=seed), 16, "5 Mbps streams"),
+    "fig3": (lambda runs, seed: experiments.run_figure3(seed=seed),
+             None, "two-weak-links example"),
+    "fig4": (lambda runs, seed: experiments.run_figure4(
+        n_runs=runs or 60, seed=seed), 60,
+        "loss auto- vs cross-correlation"),
+    "fig5": (lambda runs, seed: experiments.run_figure5(
+        n_runs=runs or 60, seed=seed), 60, "burst-length distributions"),
+    "fig6": (lambda runs, seed: experiments.run_figure6(
+        n_runs_per_scenario=runs or 15, seed=seed), 15,
+        "PCR by impairment"),
+    "fig8": (lambda runs, seed: experiments.run_figure8(
+        n_runs=runs or 30, seed0=seed), 30,
+        "DiversiFi loss recovery (office)"),
+    "fig9": (lambda runs, seed: experiments.run_figure9(
+        n_runs=runs or 30, seed0=seed), 30, "DiversiFi burst suppression"),
+    "fig10": (lambda runs, seed: experiments.run_figure10(
+        n_runs=runs or 12, seed0=100 + seed), 12,
+        "competing TCP throughput"),
+    "sec63": (lambda runs, seed: experiments.run_section63_overhead(
+        n_runs=runs or 30, seed0=seed), 30, "duplication overhead"),
+    "sec64": (lambda runs, seed: experiments.run_section64_scalability(
+        n_events=runs or 10, seed0=seed), 10, "middlebox scalability"),
+    "uplink": (lambda runs, seed: experiments.run_uplink(
+        n_runs=runs or 5, seed=seed), 5,
+        "uplink DiversiFi (extension)"),
+    "nlinks": (lambda runs, seed: experiments.run_nlink_sweep(
+        n_runs=runs or 10, seed=seed), 10,
+        "diversity vs number of links (extension)"),
+    "fec": (lambda runs, seed: experiments.run_fec_comparison(
+        n_runs=runs or 10, seed=seed), 10,
+        "FEC coding vs replication (extension)"),
+    "gaming": (lambda runs, seed: experiments.run_gaming(
+        n_runs=runs or 3, seed=seed + 11), 3,
+        "cloud-gaming frame stalls (extension)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate DiversiFi (CoNEXT '15) tables and figures.")
+    parser.add_argument("command",
+                        choices=sorted(_COMMANDS) + ["list", "all"],
+                        help="experiment id, 'list', or 'all'")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="run count override (per experiment)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed (default 0)")
+    return parser
+
+
+def run_command(name: str, runs: Optional[int], seed: int,
+                out=sys.stdout) -> None:
+    """Execute one experiment and print its rendering."""
+    runner, _, description = _COMMANDS[name]
+    start = time.time()
+    result = runner(runs, seed)
+    elapsed = time.time() - start
+    print(result.render(), file=out)
+    print(f"[{name}: {description}; {elapsed:.1f}s]", file=out)
+
+
+def main(argv=None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in _COMMANDS)
+        for name in sorted(_COMMANDS):
+            _, default_runs, description = _COMMANDS[name]
+            runs = f"(default runs: {default_runs})" if default_runs else ""
+            print(f"{name.ljust(width)}  {description} {runs}", file=out)
+        return 0
+    if args.command == "all":
+        for name in sorted(_COMMANDS):
+            print(f"\n===== {name} =====", file=out)
+            run_command(name, args.runs, args.seed, out=out)
+        return 0
+    run_command(args.command, args.runs, args.seed, out=out)
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

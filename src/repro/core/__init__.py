@@ -1,0 +1,48 @@
+"""DiversiFi core: packets, replication strategies, and the client.
+
+This package holds the paper's primary contribution:
+
+* :mod:`repro.core.packet` — packet / delivery-record / trace types shared
+  by the whole stack.
+* :mod:`repro.core.strategies` — the Section 4 strategy zoo evaluated on
+  paired link traces: ``stronger``, ``better``, ``divert``, ``temporal``,
+  ``cross-link``.
+* :mod:`repro.core.client` — the single-NIC DiversiFi client (Algorithm 1).
+* :mod:`repro.core.controller` — end-to-end session wiring for the
+  "Customized AP" and "Middlebox" architectures of Figure 7.
+* :mod:`repro.core.config` — every tunable in one place.
+"""
+
+from repro.core.adaptation import AdaptationConfig, AdaptiveReplicationPolicy
+from repro.core.config import ClientConfig, StreamProfile
+from repro.core.fec import FecConfig, apply_fec, render_fec_run
+from repro.core.multilink import (
+    MultiLinkRun,
+    best_of,
+    diversity_gain_curve,
+    make_before_break,
+    render_multilink_run,
+)
+from repro.core.packet import DeliveryRecord, LinkTrace, Packet, StreamTrace
+from repro.core.uplink import UplinkDiversiFiClient, run_uplink_session
+
+__all__ = [
+    "AdaptationConfig",
+    "AdaptiveReplicationPolicy",
+    "ClientConfig",
+    "DeliveryRecord",
+    "FecConfig",
+    "LinkTrace",
+    "MultiLinkRun",
+    "Packet",
+    "StreamProfile",
+    "StreamTrace",
+    "UplinkDiversiFiClient",
+    "apply_fec",
+    "best_of",
+    "diversity_gain_curve",
+    "make_before_break",
+    "render_fec_run",
+    "render_multilink_run",
+    "run_uplink_session",
+]

@@ -1,0 +1,94 @@
+"""RTCP-driven replication policy: hedge only when it pays.
+
+DiversiFi's coexistence story is that replication is confined to
+real-time flows and to moments of actual need.  This module closes the
+loop end to end: the sender watches RTCP receiver reports and turns
+source replication (or the SDN replication rule) on only while the
+reported loss is above a threshold, off again after a clean spell — so a
+client on a pristine link never costs the network a duplicated byte.
+
+The controller is deliberately hysteretic (separate on/off thresholds
+and a minimum hold time) to avoid flapping on noisy reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.traffic.rtcp import ReceiverReport
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Hysteresis parameters for the replication switch."""
+
+    #: turn replication ON when reported loss exceeds this
+    on_loss_threshold: float = 0.005
+    #: turn it OFF when reported loss falls below this
+    off_loss_threshold: float = 0.001
+    #: minimum time to hold a state before switching again
+    min_hold_s: float = 10.0
+    #: also turn on when reported jitter exceeds this (late-loss proxy)
+    on_jitter_threshold_s: float = 0.030
+
+    def __post_init__(self) -> None:
+        if self.off_loss_threshold > self.on_loss_threshold:
+            raise ValueError("off threshold must not exceed on threshold")
+
+
+class AdaptiveReplicationPolicy:
+    """Feeds on receiver reports; drives a replication on/off control."""
+
+    def __init__(self, config: AdaptationConfig = AdaptationConfig(),
+                 set_replication: Optional[Callable[[bool], None]] = None):
+        self.config = config
+        self._set_replication = set_replication
+        self.replicating = False
+        self._last_change_t: Optional[float] = None
+        #: (time, enabled) decision history
+        self.decisions: List[tuple] = []
+
+    def on_report(self, report: ReceiverReport) -> bool:
+        """Consume one RR; returns the (possibly updated) state."""
+        now = report.timestamp
+        held_long_enough = (
+            self._last_change_t is None
+            or now - self._last_change_t >= self.config.min_hold_s)
+
+        should_be_on = (
+            report.fraction_lost >= self.config.on_loss_threshold
+            or report.interarrival_jitter_s
+            >= self.config.on_jitter_threshold_s)
+        should_be_off = (
+            report.fraction_lost <= self.config.off_loss_threshold
+            and report.interarrival_jitter_s
+            < self.config.on_jitter_threshold_s)
+
+        if not self.replicating and should_be_on and held_long_enough:
+            self._switch(True, now)
+        elif self.replicating and should_be_off and held_long_enough:
+            self._switch(False, now)
+        return self.replicating
+
+    def _switch(self, enabled: bool, now: float) -> None:
+        self.replicating = enabled
+        self._last_change_t = now
+        self.decisions.append((now, enabled))
+        if self._set_replication is not None:
+            self._set_replication(enabled)
+
+    def duty_cycle(self, total_time_s: float) -> float:
+        """Fraction of the call during which replication was on."""
+        if total_time_s <= 0:
+            return 0.0
+        on_time = 0.0
+        state = False
+        last_t = 0.0
+        for t, enabled in self.decisions:
+            if state:
+                on_time += t - last_t
+            state, last_t = enabled, t
+        if state:
+            on_time += total_time_s - last_t
+        return min(on_time / total_time_s, 1.0)

@@ -1,0 +1,138 @@
+"""Every tunable of the DiversiFi system in one place.
+
+Defaults are the paper's: Algorithm 1's constants, the G.711-like stream
+profile of Section 4 (64 kbps, 160-byte packets, 20 ms spacing, 2-minute
+calls), and the AP queue sizing rule APQueueLen = MaxTolerableDelay /
+InterPktSpacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """Characterizes a real-time stream (what RTP profile lookup yields)."""
+
+    name: str = "g711"
+    packet_size_bytes: int = 160
+    inter_packet_spacing_s: float = 0.020
+    duration_s: float = 120.0
+    #: one-way delay budget for the WiFi hop (paper: 100 ms)
+    max_tolerable_delay_s: float = 0.100
+
+    @property
+    def n_packets(self) -> int:
+        """Packets in one call (paper: 6000 for a 2-minute G.711 call)."""
+        return int(round(self.duration_s / self.inter_packet_spacing_s))
+
+    @property
+    def bitrate_bps(self) -> float:
+        """Payload bitrate implied by size and spacing."""
+        return self.packet_size_bytes * 8 / self.inter_packet_spacing_s
+
+
+#: Section 4's VoIP workload: 64 kbps, 160 B, 20 ms, 2 minutes.
+G711_PROFILE = StreamProfile()
+
+#: Section 4.5's high-rate workload: 5 Mbps, 1000 B packets, 1.6 ms spacing.
+HIGH_RATE_PROFILE = StreamProfile(
+    name="highrate", packet_size_bytes=1000,
+    inter_packet_spacing_s=0.0016, duration_s=120.0)
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Algorithm 1's constants (paper Section 5.3.1).
+
+    Derived quantities (APQueueLen, ExpectedTimeToReachHead) are properties
+    so that changing a base constant keeps them consistent.
+    """
+
+    inter_packet_spacing_s: float = 0.020       # IPS
+    max_tolerable_delay_s: float = 0.100        # MTD
+    link_switch_latency_s: float = 0.0028       # LSL (measured: 2.8 ms)
+    secondary_residency_time_s: float = 0.040   # SRT
+    association_keepalive_timeout_s: float = 30.0  # AKT
+    #: multiplier on IPS for the packet-loss timeout (PLT = 2 * IPS)
+    packet_loss_timeout_factor: float = 2.0
+    #: how long without a packet before the client declares a loss
+    loss_detection_grace_s: float = 0.005
+
+    @property
+    def packet_loss_timeout_s(self) -> float:
+        """PLT = 2 * IPS (= 40 ms with defaults)."""
+        return self.packet_loss_timeout_factor * self.inter_packet_spacing_s
+
+    @property
+    def ap_queue_len(self) -> int:
+        """APQL = MTD / IPS (= 5 with defaults)."""
+        return int(round(self.max_tolerable_delay_s
+                         / self.inter_packet_spacing_s))
+
+    @property
+    def expected_time_to_reach_head_s(self) -> float:
+        """ETTRH = IPS * APQL - LSL (= 97.2 ms with defaults)."""
+        return (self.inter_packet_spacing_s * self.ap_queue_len
+                - self.link_switch_latency_s)
+
+    def for_profile(self, profile: StreamProfile) -> "ClientConfig":
+        """A config whose timing constants match a stream profile."""
+        return ClientConfig(
+            inter_packet_spacing_s=profile.inter_packet_spacing_s,
+            max_tolerable_delay_s=profile.max_tolerable_delay_s,
+            link_switch_latency_s=self.link_switch_latency_s,
+            secondary_residency_time_s=self.secondary_residency_time_s,
+            association_keepalive_timeout_s=(
+                self.association_keepalive_timeout_s),
+            packet_loss_timeout_factor=self.packet_loss_timeout_factor,
+            loss_detection_grace_s=self.loss_detection_grace_s)
+
+
+@dataclass(frozen=True)
+class APConfig:
+    """Access-point buffering behaviour (Section 5.3.1)."""
+
+    #: "head" (DiversiFi's customized AP) or "tail" (stock PSM buffering)
+    drop_policy: str = "head"
+    #: maximum PSM buffer length in packets (paper: 5 for VoIP;
+    #: stock OpenWRT default is 64)
+    max_queue_len: int = 5
+    #: how many queued packets the AP hands to the hardware queue in one go
+    #: when the client wakes; >1 models firmware that flushes several PS
+    #: frames at once (a source of wasteful duplication, Section 5.3.1)
+    hardware_queue_batch: int = 1
+    #: per-packet over-the-air service time (transmission + MAC overhead)
+    service_time_s: float = 0.0015
+    #: extra delivery attempts for a packet whose MAC burst failed while
+    #: the client was present.  Stock 802.11 discards after the retry
+    #: limit, so the default is 0; the knob exists for the ablation of
+    #: aggressive AP-side redelivery.
+    psm_redelivery_attempts: int = 0
+
+
+@dataclass(frozen=True)
+class MiddleboxConfig:
+    """Click-style middlebox behaviour (Sections 5.3.2 and 6.4)."""
+
+    #: head-drop buffer depth per flow
+    buffer_len: int = 5
+    #: base processing + LAN forwarding latency (Table 3: ~2 ms network,
+    #: ~0.9 ms queuing at the middlebox)
+    base_network_delay_s: float = 0.0020
+    base_queuing_delay_s: float = 0.0009
+    #: incremental delay per concurrent replicated stream (Section 6.4:
+    #: +1.1 ms at 1000 streams)
+    per_stream_delay_s: float = 1.1e-6
+
+
+@dataclass
+class ExperimentConfig:
+    """Bundle used by experiment drivers."""
+
+    profile: StreamProfile = field(default_factory=StreamProfile)
+    client: ClientConfig = field(default_factory=ClientConfig)
+    ap: APConfig = field(default_factory=APConfig)
+    middlebox: MiddleboxConfig = field(default_factory=MiddleboxConfig)
+    seed: int = 0

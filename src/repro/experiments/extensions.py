@@ -1,0 +1,257 @@
+"""Drivers for the beyond-the-paper extensions.
+
+These cover what the paper defers or only argues qualitatively:
+
+* :func:`run_uplink` — uplink DiversiFi (Section 5: "would apply equally
+  in the uplink direction and would likely be easier").
+* :func:`run_nlink_sweep` — diversity gain vs number of links (Figure 1
+  motivates many candidates; the paper hedges across two).
+* :func:`run_fec_comparison` — replication vs [36]-style XOR coding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.analysis.windows import worst_window_loss
+from repro.channel.gilbert import GilbertParams
+from repro.channel.link import LinkConfig, WifiLink
+from repro.channel.mobility import Position, StaticPosition
+from repro.core.config import StreamProfile
+from repro.core.fec import FecConfig, apply_fec, render_fec_run
+from repro.core.multilink import (
+    best_of,
+    diversity_gain_curve,
+    make_before_break,
+    render_multilink_run,
+)
+from repro.core.packet import merge_traces
+from repro.core.uplink import run_uplink_session
+from repro.scenarios import build_scenario
+from repro.sim.random import RandomRouter
+
+
+# ------------------------------------------------------------------ uplink
+
+@dataclass
+class UplinkResult:
+    """Plain vs hedged uplink across a severity sweep."""
+
+    severities: List[float]
+    plain_loss_pct: List[float]
+    hedged_loss_pct: List[float]
+    retransmissions: List[float]
+
+    def render(self) -> str:
+        rows = []
+        for i, severity in enumerate(self.severities):
+            rows.append([f"{severity * 100:.0f}%",
+                         f"{self.plain_loss_pct[i]:.2f}%",
+                         f"{self.hedged_loss_pct[i]:.2f}%",
+                         f"{self.retransmissions[i]:.1f}"])
+        return render_table(
+            "Uplink DiversiFi: loss within the 100 ms deadline "
+            "(no proactive duplication at all)",
+            ["primary outage", "plain", "hedged", "retx/call"], rows)
+
+
+def _uplink_factory(outage_fraction: float, profile: StreamProfile):
+    mean_bad = 0.4
+    mean_good = mean_bad * (1 - outage_fraction) / max(outage_fraction,
+                                                       1e-6)
+    primary_g = GilbertParams(mean_good_s=mean_good, mean_bad_s=mean_bad,
+                              loss_good=0.0, loss_bad=0.995)
+    clean = GilbertParams(mean_good_s=1e9, mean_bad_s=0.01,
+                          loss_good=0.0, loss_bad=0.0)
+
+    def build(router):
+        client = StaticPosition(Position(0, 0))
+        primary = WifiLink(
+            LinkConfig(name="up-p", ap_position=Position(7, 0),
+                       gilbert=primary_g, base_delay_s=0.0),
+            router, mobility=client)
+        secondary = WifiLink(
+            LinkConfig(name="up-s", ap_position=Position(11, 0),
+                       gilbert=clean, base_delay_s=0.0),
+            router, mobility=client)
+        return primary, secondary
+
+    return build
+
+
+def run_uplink(severities=(0.01, 0.03, 0.08), n_runs: int = 5,
+               seed: int = 0,
+               profile: StreamProfile = StreamProfile(duration_s=30.0)
+               ) -> UplinkResult:
+    """Sweep primary outage severity; average over ``n_runs`` seeds."""
+    plain_out, hedged_out, retx_out = [], [], []
+    for severity in severities:
+        build = _uplink_factory(severity, profile)
+        plain, hedged, retx = [], [], []
+        for k in range(n_runs):
+            p = run_uplink_session(build, profile, seed=seed + k,
+                                   enabled=False)
+            h = run_uplink_session(build, profile, seed=seed + k,
+                                   enabled=True)
+            plain.append(p.trace.effective_trace(0.100).loss_rate * 100)
+            hedged.append(h.trace.effective_trace(0.100).loss_rate * 100)
+            retx.append(h.stats.retransmissions)
+        plain_out.append(float(np.mean(plain)))
+        hedged_out.append(float(np.mean(hedged)))
+        retx_out.append(float(np.mean(retx)))
+    return UplinkResult(severities=list(severities),
+                        plain_loss_pct=plain_out,
+                        hedged_loss_pct=hedged_out,
+                        retransmissions=retx_out)
+
+
+# ------------------------------------------------------------- n-link sweep
+
+@dataclass
+class NLinkResult:
+    """Worst-window loss vs number of hedged links."""
+
+    curve: Dict[int, float]
+    make_before_break_pct: float
+
+    def render(self) -> str:
+        rows = [[k, f"{v:.2f}%"] for k, v in sorted(self.curve.items())]
+        rows.append(["handoff (1 active)",
+                     f"{self.make_before_break_pct:.2f}%"])
+        return render_table(
+            "Diversity gain vs number of links (mean worst-5s loss)",
+            ["links", "worst-5s loss"], rows)
+
+
+def run_nlink_sweep(n_links: int = 4, n_runs: int = 10, seed: int = 0,
+                    profile: StreamProfile = StreamProfile(
+                        duration_s=60.0)) -> NLinkResult:
+    root = RandomRouter(seed)
+    runs = []
+    for i in range(n_runs):
+        router = root.fork(f"nlink-{i}")
+        rng = router.stream("params")
+        client = StaticPosition(Position(0, 0))
+        links = []
+        for j in range(n_links):
+            bad_frac = float(np.exp(rng.normal(np.log(0.02), 0.8)))
+            mean_bad = float(rng.uniform(0.2, 0.8))
+            mean_good = mean_bad * (1 - bad_frac) / max(bad_frac, 1e-4)
+            links.append(WifiLink(
+                LinkConfig(name=f"ap{j}", channel=1 + 4 * j,
+                           ap_position=Position(4.0 + 4 * j, float(j)),
+                           gilbert=GilbertParams(
+                               mean_good_s=mean_good, mean_bad_s=mean_bad,
+                               loss_good=0.0,
+                               loss_bad=float(rng.uniform(0.9, 1.0))),
+                           base_delay_s=0.0),
+                router, mobility=client))
+        runs.append(render_multilink_run(links, profile))
+    curve = diversity_gain_curve(
+        runs, metric=lambda t: 100 * worst_window_loss(t))
+    mbb = float(np.mean([100 * worst_window_loss(make_before_break(r))
+                         for r in runs]))
+    return NLinkResult(curve=curve, make_before_break_pct=mbb)
+
+
+# ----------------------------------------------------------- cloud gaming
+
+@dataclass
+class GamingResult:
+    """Frame-level outcomes per scenario, single vs hedged."""
+
+    rows: List[List[str]]
+
+    def render(self) -> str:
+        return render_table(
+            "Cloud gaming: frame failures and stalls, single link vs "
+            "cross-link",
+            ["scenario", "mode", "failed frames", "stalls/min"],
+            self.rows)
+
+
+def run_gaming(n_runs: int = 3, seed: int = 11,
+               duration_s: float = 20.0,
+               scenarios=("weak_link", "congestion", "mobility")
+               ) -> GamingResult:
+    """Stream 60 fps game video over the wild scenarios."""
+    from repro.traffic.gaming import (
+        GameStreamProfile,
+        packetize_game_stream,
+        score_game_session,
+        transmit_game_stream,
+    )
+    game_profile = GameStreamProfile(duration_s=duration_s)
+    root = RandomRouter(seed)
+    rows: List[List[str]] = []
+    for scenario in scenarios:
+        singles, hedged = [], []
+        for i in range(n_runs):
+            router = root.fork(f"game-{scenario}-{i}")
+            link_a, link_b = build_scenario(scenario, router)
+            stream = packetize_game_stream(game_profile,
+                                           router.stream("frames"))
+            trace_a = transmit_game_stream(stream, link_a)
+            trace_b = transmit_game_stream(stream, link_b)
+            singles.append(score_game_session(stream, trace_a))
+            hedged.append(score_game_session(
+                stream, merge_traces([trace_a, trace_b])))
+        for label, scores in (("single", singles), ("cross-link", hedged)):
+            rows.append([
+                scenario, label,
+                f"{np.mean([s.frame_failure_rate for s in scores]) * 100:.2f}%",
+                f"{np.mean([s.stalls_per_minute for s in scores]):.1f}"])
+    return GamingResult(rows=rows)
+
+
+# ------------------------------------------------------------ FEC baseline
+
+@dataclass
+class FecComparisonResult:
+    """FEC-on-one-link vs replication-on-two-links."""
+
+    fec_loss_pct: float
+    fec_worst_pct: float
+    cross_loss_pct: float
+    cross_worst_pct: float
+    fec_overhead_pct: float
+
+    def render(self) -> str:
+        rows = [
+            ["FEC k=5 (single link)", f"{self.fec_loss_pct:.2f}%",
+             f"{self.fec_worst_pct:.2f}%",
+             f"{self.fec_overhead_pct:.0f}% always"],
+            ["cross-link (two links)", f"{self.cross_loss_pct:.2f}%",
+             f"{self.cross_worst_pct:.2f}%", "<1% reactive"],
+        ]
+        return render_table(
+            "Coding vs diversity on bursty channels",
+            ["scheme", "loss", "worst-5s", "airtime overhead"], rows)
+
+
+def run_fec_comparison(n_runs: int = 10, seed: int = 0,
+                       profile: StreamProfile = StreamProfile(
+                           duration_s=60.0)) -> FecComparisonResult:
+    root = RandomRouter(seed)
+    fec_loss, fec_worst, cross_loss, cross_worst = [], [], [], []
+    config = FecConfig(block_size=5)
+    for i in range(n_runs):
+        router = root.fork(f"fec-{i}")
+        link_a, link_b = build_scenario("weak_link", router)
+        data, parity = render_fec_run(link_a, profile, config)
+        fec_trace = apply_fec(data, parity, config)
+        cross = merge_traces([data, link_b.generate_trace(profile)])
+        fec_loss.append(fec_trace.loss_rate * 100)
+        fec_worst.append(100 * worst_window_loss(fec_trace))
+        cross_loss.append(cross.loss_rate * 100)
+        cross_worst.append(100 * worst_window_loss(cross))
+    return FecComparisonResult(
+        fec_loss_pct=float(np.mean(fec_loss)),
+        fec_worst_pct=float(np.mean(fec_worst)),
+        cross_loss_pct=float(np.mean(cross_loss)),
+        cross_worst_pct=float(np.mean(cross_worst)),
+        fec_overhead_pct=config.overhead_fraction * 100)

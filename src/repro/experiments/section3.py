@@ -1,0 +1,130 @@
+"""Section 3 drivers: Table 1, Table 2, Figure 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.studies.nettest import NetTestDataset, run_nettest_study
+from repro.studies.provider import (
+    Table1Row,
+    analyze_table1,
+    synthesize_provider_year,
+)
+from repro.studies.scan import (
+    SurveyLocation,
+    residential_multi_bssid_fraction,
+    run_site_survey,
+)
+
+
+# ----------------------------------------------------------------- Table 1
+
+@dataclass
+class Table1Result:
+    """Relative PCR deltas (Table 1) from the synthetic provider year."""
+
+    rows: List[Table1Row]
+    overall_pcr: float
+    n_rated_calls: int
+
+    def render(self) -> str:
+        table_rows = [
+            [row.label, f"{row.delta_ee_pct:+.1f}%",
+             f"{row.delta_ew_pct:+.1f}%", f"{row.delta_ww_pct:+.1f}%",
+             row.n_calls]
+            for row in self.rows]
+        return render_table(
+            "Table 1: change in PCR relative to the baseline "
+            "(+ = better, - = worse)",
+            ["Subset", "EE", "EW", "WW", "#calls"], table_rows)
+
+
+def run_table1(n_calls: int = 200_000, seed: int = 0) -> Table1Result:
+    """Synthesize the provider year and run the subset analysis."""
+    dataset = synthesize_provider_year(n_calls=n_calls, seed=seed)
+    return Table1Result(rows=analyze_table1(dataset),
+                        overall_pcr=dataset.pcr(),
+                        n_rated_calls=len(dataset.calls))
+
+
+# ----------------------------------------------------------------- Table 2
+
+@dataclass
+class Table2Result:
+    """Per-category PCR for the NetTest study (Table 2)."""
+
+    dataset: NetTestDataset
+    frac_users_any_poor: float
+    frac_users_pcr20: float
+
+    def render(self) -> str:
+        rows = [[cat, n, f"{pcr:.2f}"]
+                for cat, n, pcr in self.dataset.table2()]
+        table = render_table(
+            "Table 2: poor call rates by call category",
+            ["Call Type", "Total Calls", "PCR (%)"], rows)
+        return (f"{table}\n"
+                f"users with >=1 poor call: "
+                f"{self.frac_users_any_poor * 100:.1f}%  "
+                f"(paper: 57.9%)\n"
+                f"users with PCR >= 20%:    "
+                f"{self.frac_users_pcr20 * 100:.1f}%  (paper: 16.3%)")
+
+
+def run_table2(seed: int = 0, scale: float = 1.0) -> Table2Result:
+    """Simulate the NetTest study (9224 calls at scale=1)."""
+    dataset = run_nettest_study(seed=seed, scale=scale)
+    frac_any, frac_20 = dataset.spatial_stats()
+    return Table2Result(dataset=dataset,
+                        frac_users_any_poor=frac_any,
+                        frac_users_pcr20=frac_20)
+
+
+# ---------------------------------------------------------------- Figure 1
+
+@dataclass
+class Figure1Result:
+    """Per-location BSSID/channel counts (Figure 1's bars and dashes)."""
+
+    locations: List[Tuple[SurveyLocation, int, int]]
+    residential_multi_fraction: float
+
+    @property
+    def bssid_counts(self) -> List[int]:
+        return [b for _, b, _ in self.locations]
+
+    @property
+    def channel_counts(self) -> List[int]:
+        return [c for _, _, c in self.locations]
+
+    def render(self) -> str:
+        rows = [[loc.label, loc.city, bssids, channels]
+                for loc, bssids, channels in self.locations]
+        table = render_table(
+            "Figure 1: connectable BSSIDs (bars) and distinct channels "
+            "(dashes) per location",
+            ["Location", "City", "#BSSIDs", "#channels"], rows)
+        b, c = self.bssid_counts, self.channel_counts
+        return (f"{table}\n"
+                f"BSSIDs: median={int(np.median(b))} "
+                f"range={min(b)}-{max(b)}  (paper: 6, 2-13)\n"
+                f"channels: median={int(np.median(c))} "
+                f"range={min(c)}-{max(c)}  (paper: 4, 2-9)\n"
+                f"residential clients with >1 BSSID: "
+                f"{self.residential_multi_fraction * 100:.0f}%  "
+                f"(paper: ~30%)")
+
+
+def run_figure1(seed: int = 0) -> Figure1Result:
+    """Run the site survey and the residential availability check."""
+    survey = run_site_survey(seed=seed)
+    locations = [(loc, scan.n_bssids, scan.n_channels)
+                 for loc, scan in survey]
+    return Figure1Result(
+        locations=locations,
+        residential_multi_fraction=residential_multi_bssid_fraction(
+            seed=seed))

@@ -1,0 +1,132 @@
+"""Dataset persistence: save and load traces and experiment results.
+
+Real deployments of this library record traces once (expensive) and
+re-analyze many times.  Formats:
+
+* ``LinkTrace`` / paired-run datasets -> ``.npz`` (numpy archive, compact
+  and fast);
+* experiment result summaries -> ``.json`` (human-diffable, feeds
+  plotting scripts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import StreamProfile
+from repro.core.packet import LinkTrace
+from repro.core.replication import PairedRun
+
+
+def save_traces(path: Union[str, Path],
+                traces: Sequence[LinkTrace]) -> None:
+    """Write traces to an ``.npz`` archive."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {
+        "names": np.array([t.name for t in traces], dtype=object)}
+    for i, trace in enumerate(traces):
+        arrays[f"send_{i}"] = trace.send_times
+        arrays[f"delivered_{i}"] = trace.delivered
+        arrays[f"delays_{i}"] = trace.delays
+    np.savez_compressed(path, n_traces=len(traces),
+                        **{k: v for k, v in arrays.items()
+                           if k != "names"},
+                        names=np.array([t.name for t in traces]))
+
+
+def load_traces(path: Union[str, Path]) -> List[LinkTrace]:
+    """Read traces back from :func:`save_traces` output."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        n = int(data["n_traces"])
+        names = [str(name) for name in data["names"]]
+        return [LinkTrace(names[i], data[f"send_{i}"],
+                          data[f"delivered_{i}"], data[f"delays_{i}"])
+                for i in range(n)]
+
+
+def save_paired_runs(path: Union[str, Path],
+                     runs: Sequence[PairedRun]) -> None:
+    """Persist a Section 4 dataset (paired runs incl. offset copies)."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    meta = []
+    for i, run in enumerate(runs):
+        arrays[f"send_{i}"] = run.trace_a.send_times
+        arrays[f"a_delivered_{i}"] = run.trace_a.delivered
+        arrays[f"a_delays_{i}"] = run.trace_a.delays
+        arrays[f"b_delivered_{i}"] = run.trace_b.delivered
+        arrays[f"b_delays_{i}"] = run.trace_b.delays
+        for j, (delta, trace) in enumerate(sorted(
+                run.offset_traces.items())):
+            arrays[f"off{j}_delivered_{i}"] = trace.delivered
+            arrays[f"off{j}_delays_{i}"] = trace.delays
+        meta.append({
+            "scenario": run.scenario,
+            "rssi_a": run.rssi_a_dbm,
+            "rssi_b": run.rssi_b_dbm,
+            "deltas": sorted(run.offset_traces),
+            "spacing": run.profile.inter_packet_spacing_s,
+            "duration": run.profile.duration_s,
+            "packet_size": run.profile.packet_size_bytes,
+        })
+    np.savez_compressed(path, n_runs=len(runs),
+                        meta=np.array(json.dumps(meta)), **arrays)
+
+
+def load_paired_runs(path: Union[str, Path]) -> List[PairedRun]:
+    """Read back :func:`save_paired_runs` output."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        n = int(data["n_runs"])
+        meta = json.loads(str(data["meta"]))
+        runs = []
+        for i in range(n):
+            info = meta[i]
+            profile = StreamProfile(
+                packet_size_bytes=int(info["packet_size"]),
+                inter_packet_spacing_s=float(info["spacing"]),
+                duration_s=float(info["duration"]))
+            send = data[f"send_{i}"]
+            trace_a = LinkTrace("A", send, data[f"a_delivered_{i}"],
+                                data[f"a_delays_{i}"])
+            trace_b = LinkTrace("B", send, data[f"b_delivered_{i}"],
+                                data[f"b_delays_{i}"])
+            offsets = {}
+            for j, delta in enumerate(info["deltas"]):
+                offsets[float(delta)] = LinkTrace(
+                    f"A+{delta}", send, data[f"off{j}_delivered_{i}"],
+                    data[f"off{j}_delays_{i}"])
+            runs.append(PairedRun(
+                profile=profile, trace_a=trace_a, trace_b=trace_b,
+                offset_traces=offsets, rssi_a_dbm=float(info["rssi_a"]),
+                rssi_b_dbm=float(info["rssi_b"]),
+                scenario=str(info["scenario"])))
+        return runs
+
+
+def save_result_json(path: Union[str, Path], result) -> None:
+    """Serialize a driver result dataclass to JSON (numpy-tolerant)."""
+    def default(obj):
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if dataclasses.is_dataclass(obj):
+            return dataclasses.asdict(obj)
+        raise TypeError(f"not JSON-serializable: {type(obj)!r}")
+
+    payload = dataclasses.asdict(result) if dataclasses.is_dataclass(
+        result) else result
+    Path(path).write_text(json.dumps(payload, indent=2, default=default))
+
+
+def load_result_json(path: Union[str, Path]) -> dict:
+    """Read a result summary back as a plain dict."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,73 @@
+"""WAN path model.
+
+A WAN path imposes a base propagation delay, lognormal jitter, and light
+random loss.  Used by the NetTest study (calls between clients across 22
+countries, directly or through cloud relays) and to position the WiFi hop's
+contribution inside realistic end-to-end conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.packet import Packet
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class WanPathParams:
+    """Delay/jitter/loss of one WAN direction."""
+
+    base_delay_s: float = 0.040
+    jitter_scale_s: float = 0.003
+    loss_prob: float = 0.001
+    #: heavier tail during overload (relay scenario): probability that a
+    #: packet hits a congested queue and the extra delay it then suffers
+    overload_prob: float = 0.0
+    overload_delay_s: float = 0.150
+
+
+class WanPath:
+    """Forwards packets with stochastic delay; drops with ``loss_prob``.
+
+    In event mode attach a ``deliver(packet)`` sink and call :meth:`send`;
+    in trace mode call :meth:`sample_delay` / :meth:`sample_loss` directly.
+    """
+
+    def __init__(self, params: WanPathParams, rng: np.random.Generator,
+                 sim: Optional[Simulator] = None,
+                 sink: Optional[Callable[[Packet], None]] = None):
+        self.params = params
+        self._rng = rng
+        self._sim = sim
+        self._sink = sink
+        self.forwarded = 0
+        self.dropped = 0
+
+    def sample_loss(self) -> bool:
+        """True if the packet is lost on this path."""
+        return bool(self._rng.random() < self.params.loss_prob)
+
+    def sample_delay(self) -> float:
+        """One packet's one-way delay on this path."""
+        jitter = float(self._rng.lognormal(mean=0.0, sigma=1.0)
+                       * self.params.jitter_scale_s)
+        delay = self.params.base_delay_s + jitter
+        if (self.params.overload_prob > 0.0
+                and self._rng.random() < self.params.overload_prob):
+            delay += float(self._rng.exponential(
+                self.params.overload_delay_s))
+        return delay
+
+    def send(self, packet: Packet) -> None:
+        """Event-mode forwarding to the attached sink."""
+        if self._sim is None or self._sink is None:
+            raise RuntimeError("WanPath not wired for event mode")
+        if self.sample_loss():
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self._sim.call_in(self.sample_delay(), self._sink, packet)

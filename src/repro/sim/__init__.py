@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+Everything in the DiversiFi reproduction runs on this engine: channels,
+MAC/AP behaviour, the single-NIC client, middleboxes, and traffic sources.
+The engine is deliberately small — an event heap with a simulated clock and
+deterministic tie-breaking — plus a coroutine-style :class:`Process`
+abstraction and named, reproducible random streams.
+
+Public API::
+
+    from repro.sim import Simulator, Process, RandomRouter
+
+    sim = Simulator()
+    sim.call_at(1.5, lambda: print("fired at", sim.now))
+    sim.run(until=10.0)
+"""
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.process import Process, Timeout, WaitEvent
+from repro.sim.random import RandomRouter
+
+__all__ = [
+    "Event",
+    "Process",
+    "RandomRouter",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "WaitEvent",
+]

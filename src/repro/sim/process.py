@@ -1,0 +1,137 @@
+"""Coroutine-style processes on top of the event engine.
+
+A :class:`Process` wraps a generator that yields *commands*:
+
+* ``Timeout(delay)`` — resume after ``delay`` simulated seconds.
+* ``WaitEvent(signal)`` — resume when the :class:`Signal` is triggered; the
+  value passed to :meth:`Signal.trigger` is sent back into the generator.
+
+This gives sequential-looking protocol code (the DiversiFi client, the PSM
+state machine, TCP sources) without hand-writing callback chains::
+
+    def sender(sim, link):
+        for seq in range(6000):
+            link.send(make_packet(seq))
+            yield Timeout(0.020)
+
+    Process(sim, sender(sim, link))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class Timeout:
+    """Yield from a process generator to sleep for ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+
+class Signal:
+    """A one-to-many wakeup channel processes can wait on."""
+
+    def __init__(self) -> None:
+        self._waiters: List["Process"] = []
+
+    def add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def trigger(self, value: Any = None) -> int:
+        """Wake all waiting processes, sending ``value`` into each.
+
+        Returns the number of processes woken.
+        """
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume(value)
+        return len(waiters)
+
+
+class WaitEvent:
+    """Yield from a process generator to block on a :class:`Signal`."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal):
+        self.signal = signal
+
+
+class Interrupted(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process:
+    """Drives a generator of Timeout/WaitEvent commands on a simulator."""
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        self._sim = sim
+        self._gen = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.alive = True
+        #: value returned by the generator (via ``return x``), if any
+        self.result: Any = None
+        self._pending_event = None
+        # Start at the current instant, but via the queue so that processes
+        # created inside an event handler do not run re-entrantly.
+        self._pending_event = sim.call_in(0.0, self._resume, None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time."""
+        if not self.alive:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._sim.call_in(0.0, self._throw, Interrupted(cause))
+
+    def _throw(self, exc: Exception) -> None:
+        if not self.alive:
+            return
+        try:
+            command = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop)
+            return
+        except Interrupted:
+            self._finish(None)
+            return
+        self._dispatch(command)
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._pending_event = None
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._pending_event = self._sim.call_in(
+                command.delay, self._resume, None)
+        elif isinstance(command, WaitEvent):
+            command.signal.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command "
+                f"{command!r}; yield Timeout or WaitEvent")
+
+    def _finish(self, stop: Optional[StopIteration]) -> None:
+        self.alive = False
+        if stop is not None:
+            self.result = stop.value

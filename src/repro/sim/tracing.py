@@ -1,0 +1,69 @@
+"""Structured event tracing for simulation debugging and timelines.
+
+An :class:`EventLog` collects timestamped, typed events from any
+component (the DiversiFi client and WifiManager emit into one when given
+a log).  Besides debugging, logs power the session timeline rendering
+used in examples: *what did the client actually do during that call?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logged event."""
+
+    time: float
+    source: str
+    kind: str
+    detail: str = ""
+
+
+class EventLog:
+    """An append-only, queryable event record."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._events: List[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, time: float, source: str, kind: str,
+               detail: str = "") -> None:
+        """Append one event (drops oldest beyond ``capacity``)."""
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(TraceEvent(time=time, source=source,
+                                       kind=kind, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        return [e for e in self._events if start <= e.time <= end]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def render_timeline(self, limit: int = 50) -> str:
+        """A human-readable timeline (most recent ``limit`` events)."""
+        lines = [f"{'t (s)':>10s}  {'source':12s} {'event':20s} detail"]
+        for event in self._events[-limit:]:
+            lines.append(f"{event.time:10.4f}  {event.source:12s} "
+                         f"{event.kind:20s} {event.detail}")
+        if len(self._events) > limit:
+            lines.insert(1, f"... ({len(self._events) - limit} earlier "
+                            f"events elided)")
+        return "\n".join(lines)

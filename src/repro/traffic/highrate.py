@@ -1,0 +1,27 @@
+"""The high-bandwidth real-time source of Section 4.5.
+
+A 5 Mbps stream of 1000-byte packets at 1.6 ms spacing — representative of
+interactive video or cloud gaming.  Behaviour is identical to the VoIP
+sender apart from the profile; kept as its own class so call sites say
+what workload they run and so profile defaults stay with the workload.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import HIGH_RATE_PROFILE, StreamProfile
+from repro.sim.engine import Simulator
+from repro.traffic.voip import VoipSender
+
+
+class HighRateSender(VoipSender):
+    """5 Mbps interactive stream (video/gaming)."""
+
+    def __init__(self, sim: Simulator,
+                 profile: StreamProfile = HIGH_RATE_PROFILE,
+                 flow_id: str = "hr0", start_time: float = 0.0):
+        if profile.bitrate_bps < 1e6:
+            raise ValueError(
+                "HighRateSender expects a multi-Mbps profile; "
+                f"got {profile.bitrate_bps / 1e6:.2f} Mbps")
+        super().__init__(sim, profile, flow_id=flow_id,
+                         start_time=start_time)

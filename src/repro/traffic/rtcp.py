@@ -1,0 +1,113 @@
+"""RTCP receiver reports (RFC 3550): the feedback channel.
+
+DiversiFi's initialization reads RTP headers; its natural feedback path
+for sender-side policies (source replication on/off, FEC adaptation) is
+RTCP.  This module implements the receiver-side statistics exactly as
+RFC 3550 defines them:
+
+* cumulative packets lost and loss fraction since the last report;
+* the interarrival **jitter** estimator
+  ``J += (|D(i-1, i)| - J) / 16``;
+* extended highest sequence number received.
+
+Reports are emitted at the standard ~5 s interval (randomized ±50% per
+the RFC to avoid synchronization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ReceiverReport:
+    """One RTCP RR block (the fields senders act on)."""
+
+    timestamp: float
+    fraction_lost: float        # since the previous report, 0..1
+    cumulative_lost: int
+    extended_highest_seq: int
+    interarrival_jitter_s: float
+
+
+class RtcpReceiver:
+    """Tracks reception statistics and emits periodic receiver reports."""
+
+    REPORT_INTERVAL_S = 5.0
+
+    def __init__(self, sim: Simulator,
+                 on_report: Optional[Callable[[ReceiverReport], None]]
+                 = None,
+                 rng: Optional[np.random.Generator] = None,
+                 clock_rate_hz: int = 8000):
+        self.sim = sim
+        self.on_report = on_report
+        self._rng = rng
+        self.clock_rate_hz = clock_rate_hz
+        self.reports: List[ReceiverReport] = []
+
+        self._highest_seq = -1
+        self._received = 0
+        self._expected_prior = 0
+        self._received_prior = 0
+        self._jitter_s = 0.0
+        self._last_transit: Optional[float] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the periodic report timer."""
+        if self._started:
+            raise RuntimeError("RTCP receiver already started")
+        self._started = True
+        self.sim.call_in(self._next_interval(), self._emit_report)
+
+    def _next_interval(self) -> float:
+        if self._rng is None:
+            return self.REPORT_INTERVAL_S
+        # RFC 3550: uniform on [0.5, 1.5] x the deterministic interval.
+        return float(self._rng.uniform(0.5, 1.5)
+                     * self.REPORT_INTERVAL_S)
+
+    # ------------------------------------------------------------------
+
+    def on_packet(self, seq: int, rtp_timestamp_s: float,
+                  arrival_time: float) -> None:
+        """Feed one received RTP packet into the statistics."""
+        self._received += 1
+        self._highest_seq = max(self._highest_seq, seq)
+        transit = arrival_time - rtp_timestamp_s
+        if self._last_transit is not None:
+            d = abs(transit - self._last_transit)
+            self._jitter_s += (d - self._jitter_s) / 16.0
+        self._last_transit = transit
+
+    @property
+    def interarrival_jitter_s(self) -> float:
+        return self._jitter_s
+
+    def _emit_report(self) -> None:
+        expected = self._highest_seq + 1
+        expected_interval = expected - self._expected_prior
+        received_interval = self._received - self._received_prior
+        lost_interval = max(expected_interval - received_interval, 0)
+        fraction = (lost_interval / expected_interval
+                    if expected_interval > 0 else 0.0)
+        report = ReceiverReport(
+            timestamp=self.sim.now,
+            fraction_lost=float(fraction),
+            cumulative_lost=max(expected - self._received, 0),
+            extended_highest_seq=self._highest_seq,
+            interarrival_jitter_s=self._jitter_s)
+        self.reports.append(report)
+        self._expected_prior = expected
+        self._received_prior = self._received
+        if self.on_report is not None:
+            self.on_report(report)
+        self.sim.call_in(self._next_interval(), self._emit_report)

@@ -1,0 +1,84 @@
+"""RTP header handling and payload-type profiles.
+
+DiversiFi's initialization (Section 5.2.1) learns the stream rate, packet
+size and deadlines *without application changes* by reading the RTP payload
+type and looking up the static profile table of RFC 3551.  This module
+implements the header fields the system needs, real serialization included
+(so tests can round-trip bytes), and the profile lookup that yields a
+:class:`~repro.core.config.StreamProfile`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.config import StreamProfile
+
+_RTP_VERSION = 2
+_HEADER_FMT = "!BBHII"  # V/P/X/CC, M/PT, seq, timestamp, SSRC
+HEADER_BYTES = struct.calcsize(_HEADER_FMT)
+
+
+@dataclass(frozen=True)
+class RtpHeader:
+    """The fixed 12-byte RTP header (RFC 3550), no CSRC list."""
+
+    payload_type: int
+    sequence_number: int
+    timestamp: int
+    ssrc: int
+    marker: bool = False
+
+    def pack(self) -> bytes:
+        """Serialize to wire format."""
+        if not 0 <= self.payload_type <= 127:
+            raise ValueError("payload type must fit in 7 bits")
+        if not 0 <= self.sequence_number <= 0xFFFF:
+            raise ValueError("sequence number must fit in 16 bits")
+        byte0 = _RTP_VERSION << 6
+        byte1 = (int(self.marker) << 7) | self.payload_type
+        return struct.pack(_HEADER_FMT, byte0, byte1,
+                           self.sequence_number,
+                           self.timestamp & 0xFFFFFFFF,
+                           self.ssrc & 0xFFFFFFFF)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "RtpHeader":
+        """Parse the fixed header from wire format."""
+        if len(data) < HEADER_BYTES:
+            raise ValueError("short RTP header")
+        byte0, byte1, seq, ts, ssrc = struct.unpack(
+            _HEADER_FMT, data[:HEADER_BYTES])
+        version = byte0 >> 6
+        if version != _RTP_VERSION:
+            raise ValueError(f"unsupported RTP version {version}")
+        return cls(payload_type=byte1 & 0x7F,
+                   sequence_number=seq, timestamp=ts, ssrc=ssrc,
+                   marker=bool(byte1 >> 7))
+
+
+#: RFC 3551 static audio payload types -> stream profiles.  Packet sizes
+#: include the codec frame only (the paper's 160-byte G.711 payload).
+RTP_PROFILES = {
+    0: StreamProfile(name="PCMU/G711u", packet_size_bytes=160,
+                     inter_packet_spacing_s=0.020),
+    8: StreamProfile(name="PCMA/G711a", packet_size_bytes=160,
+                     inter_packet_spacing_s=0.020),
+    9: StreamProfile(name="G722", packet_size_bytes=160,
+                     inter_packet_spacing_s=0.020),
+    4: StreamProfile(name="G723", packet_size_bytes=24,
+                     inter_packet_spacing_s=0.030),
+    18: StreamProfile(name="G729", packet_size_bytes=20,
+                      inter_packet_spacing_s=0.020),
+}
+
+
+def profile_for_payload_type(payload_type: int) -> StreamProfile:
+    """The DiversiFi initialization lookup (Section 5.2.1)."""
+    try:
+        return RTP_PROFILES[payload_type]
+    except KeyError:
+        raise KeyError(
+            f"no static RTP profile for payload type {payload_type}; "
+            "dynamic types need out-of-band signalling") from None

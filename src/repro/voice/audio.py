@@ -1,0 +1,160 @@
+"""Sample-level audio pipeline: synthesis, concealment, PESQ-like scoring.
+
+The E-model pipeline (:mod:`repro.voice.quality`) scores calls from
+packet statistics.  This module runs the *actual audio path* the paper's
+methodology describes — "running the packet traces through a G711 codec,
+and using the degree of interpolation and extrapolation of voice
+samples":
+
+1. synthesize a speech-like reference signal (harmonic voiced segments
+   with pitch/energy modulation, separated by pauses);
+2. G.711-encode it into 20 ms frames and subject the frames to a network
+   trace (lost/late frames never reach the decoder);
+3. decode with packet-loss concealment — interpolation across single-
+   frame gaps, energy-attenuated repetition (extrapolation) inside
+   bursts;
+4. score the degraded signal against the reference with segmental SNR
+   mapped to a MOS-like value (a light-weight stand-in for PESQ, ITU-T
+   P.862/P.862.1).
+
+It is slower than the E-model path, so the large studies keep using the
+statistical scorer; this one backs it up at sample level and is exercised
+by the voice tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.packet import LinkTrace
+from repro.voice.g711 import (
+    G711Codec,
+    SAMPLE_RATE_HZ,
+    SAMPLES_PER_FRAME,
+)
+from repro.voice.playout import PlayoutBuffer
+
+
+def synthesize_speech(duration_s: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """A speech-like int16 signal at 8 kHz.
+
+    Voiced segments (0.2–1 s) carry a few harmonics of a drifting pitch
+    with an energy envelope; pauses (0.1–0.5 s) separate them.  Not
+    speech, but spectrally and temporally speech-*shaped*, which is what
+    concealment quality depends on.
+    """
+    n_total = int(duration_s * SAMPLE_RATE_HZ)
+    signal = np.zeros(n_total)
+    t_cursor = 0
+    while t_cursor < n_total:
+        pause = int(rng.uniform(0.1, 0.5) * SAMPLE_RATE_HZ)
+        t_cursor += pause
+        if t_cursor >= n_total:
+            break
+        voiced = int(rng.uniform(0.2, 1.0) * SAMPLE_RATE_HZ)
+        voiced = min(voiced, n_total - t_cursor)
+        t = np.arange(voiced) / SAMPLE_RATE_HZ
+        pitch = rng.uniform(90.0, 220.0)
+        drift = rng.uniform(-20.0, 20.0)
+        phase = 2 * np.pi * (pitch * t + 0.5 * drift * t ** 2)
+        chunk = np.zeros(voiced)
+        for harmonic, gain in ((1, 1.0), (2, 0.5), (3, 0.25), (4, 0.12)):
+            chunk += gain * np.sin(harmonic * phase)
+        envelope = np.hanning(voiced) * rng.uniform(0.4, 1.0)
+        signal[t_cursor:t_cursor + voiced] = chunk * envelope
+        t_cursor += voiced
+    peak = np.max(np.abs(signal)) or 1.0
+    return (signal / peak * 12000.0).astype(np.int16)
+
+
+class ConcealingDecoder:
+    """G.711 decoder with interpolation/extrapolation concealment."""
+
+    #: per-frame energy decay while extrapolating (PLC standard behaviour)
+    ATTENUATION = 0.7
+
+    def decode_call(self, frames: List[Optional[bytes]]) -> np.ndarray:
+        """Decode a call; ``None`` entries are missing frames.
+
+        Returns the concealed PCM signal (int16).
+        """
+        n = len(frames)
+        out = np.zeros(n * SAMPLES_PER_FRAME, dtype=float)
+        decoded: List[Optional[np.ndarray]] = [
+            G711Codec.decode(f).astype(float) if f is not None else None
+            for f in frames]
+        last_good: Optional[np.ndarray] = None
+        gap_age = 0
+        for i in range(n):
+            sl = slice(i * SAMPLES_PER_FRAME, (i + 1) * SAMPLES_PER_FRAME)
+            if decoded[i] is not None:
+                out[sl] = decoded[i]
+                last_good = decoded[i]
+                gap_age = 0
+                continue
+            nxt = decoded[i + 1] if i + 1 < n else None
+            if gap_age == 0 and last_good is not None and nxt is not None:
+                # Interpolate an isolated gap: crossfade neighbours.
+                ramp = np.linspace(0.0, 1.0, SAMPLES_PER_FRAME)
+                out[sl] = last_good * (1.0 - ramp) + nxt * ramp
+            elif last_good is not None:
+                # Extrapolate: repeat with energy decay.
+                out[sl] = last_good * (self.ATTENUATION ** (gap_age + 1))
+            # else: leading silence stays silent
+            gap_age += 1
+        return np.clip(out, -32768, 32767).astype(np.int16)
+
+
+def segmental_snr_db(reference: np.ndarray, degraded: np.ndarray,
+                     segment_samples: int = SAMPLES_PER_FRAME) -> float:
+    """Mean per-segment SNR over active segments, clamped to [-10, 35]."""
+    n = min(len(reference), len(degraded))
+    ref = reference[:n].astype(float)
+    deg = degraded[:n].astype(float)
+    snrs = []
+    for start in range(0, n - segment_samples + 1, segment_samples):
+        r = ref[start:start + segment_samples]
+        d = deg[start:start + segment_samples]
+        power = np.mean(r ** 2)
+        if power < 1e3:       # silence segment: skip
+            continue
+        noise = np.mean((r - d) ** 2)
+        snr = 10.0 * np.log10(power / max(noise, 1e-9))
+        snrs.append(float(np.clip(snr, -10.0, 35.0)))
+    if not snrs:
+        return 35.0
+    return float(np.mean(snrs))
+
+
+def snr_to_mos(seg_snr_db: float) -> float:
+    """A PESQ-flavoured logistic mapping from segmental SNR to MOS."""
+    return float(1.0 + 3.5 / (1.0 + np.exp(-(seg_snr_db - 12.0) / 5.0)))
+
+
+def score_call_audio(trace: LinkTrace, rng: np.random.Generator,
+                     playout_delay_s: float = 0.100) -> float:
+    """Full audio-path MOS for one call's network trace."""
+    duration = len(trace) * 0.020
+    reference = synthesize_speech(duration, rng)
+    # Packetize, subject to the network + playout outcome, decode.
+    n_frames = len(trace)
+    usable = reference[:n_frames * SAMPLES_PER_FRAME]
+    playout = PlayoutBuffer(playout_delay_s).replay(trace)
+    frames: List[Optional[bytes]] = []
+    for i in range(n_frames):
+        chunk = usable[i * SAMPLES_PER_FRAME:(i + 1) * SAMPLES_PER_FRAME]
+        if playout.played[i]:
+            frames.append(G711Codec.encode(chunk))
+        else:
+            frames.append(None)
+    degraded = ConcealingDecoder().decode_call(frames)
+    # Compare against the codec's own clean output, so the score isolates
+    # *network* damage from mu-law quantization noise.
+    clean = ConcealingDecoder().decode_call(
+        [G711Codec.encode(usable[i * SAMPLES_PER_FRAME:
+                                 (i + 1) * SAMPLES_PER_FRAME])
+         for i in range(n_frames)])
+    return snr_to_mos(segmental_snr_db(clean, degraded))

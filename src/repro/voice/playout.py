@@ -1,0 +1,69 @@
+"""Receiver playout buffer.
+
+Interactive audio plays each 20 ms frame at a fixed offset (the playout
+delay) after it was captured.  A packet that arrives after its playout
+instant is useless — a *late loss*.  The buffer model converts a network
+trace (per-packet arrival times) into the per-frame available/missing
+pattern the concealment and quality stages consume.
+
+The playout delay defaults to the paper's 100 ms MaxTolerableDelay budget
+for the access hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.packet import LinkTrace
+
+
+@dataclass
+class PlayoutResult:
+    """Per-frame playout availability for one call."""
+
+    #: True where the frame was on time for its playout instant
+    played: np.ndarray
+    #: count of frames lost in the network
+    network_losses: int
+    #: count of frames that arrived but too late to play
+    late_losses: int
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.played.size)
+
+    @property
+    def effective_loss_rate(self) -> float:
+        """Fraction of frames missing at playout (network + late)."""
+        if self.played.size == 0:
+            return 0.0
+        return float(np.mean(~self.played))
+
+
+class PlayoutBuffer:
+    """Fixed-delay playout schedule."""
+
+    def __init__(self, playout_delay_s: float = 0.100):
+        if playout_delay_s <= 0:
+            raise ValueError("playout delay must be positive")
+        self.playout_delay_s = playout_delay_s
+
+    def replay(self, trace: LinkTrace) -> PlayoutResult:
+        """Replay a trace against the playout schedule."""
+        deadlines = trace.send_times + self.playout_delay_s
+        arrivals = trace.arrival_times
+        played = np.zeros(len(trace), dtype=bool)
+        network_losses = 0
+        late_losses = 0
+        for i in range(len(trace)):
+            if not trace.delivered[i]:
+                network_losses += 1
+                continue
+            if arrivals[i] <= deadlines[i] + 1e-12:
+                played[i] = True
+            else:
+                late_losses += 1
+        return PlayoutResult(played=played, network_losses=network_losses,
+                             late_losses=late_losses)

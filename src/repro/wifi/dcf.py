@@ -1,0 +1,144 @@
+"""A shared-medium DCF model: multiple stations contending for airtime.
+
+The per-link MAC in :mod:`repro.wifi.mac` models retries for a single
+transmitter; when several flows share one channel (the VoIP downlink, a
+TCP bulk flow, neighbouring BSS traffic), their *airtime* interacts.
+:class:`DcfMedium` provides that coupling: stations enqueue frame
+transmission requests; the medium serializes them with contention —
+per-access randomized backoff, collisions when two stations pick the same
+slot, and capture of the channel for the frame's airtime.
+
+This is deliberately a medium-occupancy model (who holds the air when),
+not a symbol-level simulation; its purpose is faithful *delay and
+throughput coupling* between coexisting flows on one channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+from collections import deque
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+SLOT_S = 9e-6
+DIFS_S = 34e-6
+ACK_S = 44e-6
+
+
+@dataclass
+class DcfStats:
+    """Per-medium counters."""
+
+    transmissions: int = 0
+    collisions: int = 0
+    busy_time_s: float = 0.0
+
+
+@dataclass
+class _Request:
+    station: str
+    airtime_s: float
+    callback: Callable[[bool], None]   # success flag (collision = False)
+    backoff_slots: int = 0
+    attempts: int = 0
+
+
+class DcfMedium:
+    """A single contended channel shared by named stations."""
+
+    def __init__(self, sim: Simulator, rng: np.random.Generator,
+                 cw_min: int = 15, cw_max: int = 1023,
+                 retry_limit: int = 7):
+        self.sim = sim
+        self._rng = rng
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+        self.retry_limit = retry_limit
+        self.stats = DcfStats()
+        self._pending: Dict[str, Deque[_Request]] = {}
+        self._busy_until = 0.0
+        self._scheduled = False
+
+    # ------------------------------------------------------------------
+
+    def request(self, station: str, airtime_s: float,
+                callback: Callable[[bool], None]) -> None:
+        """Ask to transmit one frame of ``airtime_s`` seconds.
+
+        ``callback(success)`` fires when the frame's channel time ends;
+        success=False means the retry limit was exhausted on collisions.
+        """
+        queue = self._pending.setdefault(station, deque())
+        req = _Request(station=station, airtime_s=airtime_s,
+                       callback=callback)
+        req.backoff_slots = self._draw_backoff(0)
+        queue.append(req)
+        self._schedule_round()
+
+    def _draw_backoff(self, attempt: int) -> int:
+        cw = min((self.cw_min + 1) * (2 ** attempt) - 1, self.cw_max)
+        return int(self._rng.integers(0, cw + 1))
+
+    def _schedule_round(self) -> None:
+        if self._scheduled:
+            return
+        self._scheduled = True
+        start = max(self.sim.now, self._busy_until)
+        self.sim.call_at(start, self._contend)
+
+    def _contend(self) -> None:
+        self._scheduled = False
+        heads: List[_Request] = [q[0] for q in self._pending.values() if q]
+        if not heads:
+            return
+        min_slots = min(r.backoff_slots for r in heads)
+        winners = [r for r in heads if r.backoff_slots == min_slots]
+        for r in heads:
+            r.backoff_slots -= min_slots
+        access_delay = DIFS_S + min_slots * SLOT_S
+
+        if len(winners) == 1:
+            winner = winners[0]
+            airtime = winner.airtime_s + ACK_S
+            finish = self.sim.now + access_delay + airtime
+            self.stats.transmissions += 1
+            self.stats.busy_time_s += airtime
+            self._busy_until = finish
+            self._pending[winner.station].popleft()
+            self.sim.call_at(finish, self._complete, winner, True)
+        else:
+            # Collision: everyone who fired loses the airtime of the
+            # longest frame, then re-draws backoff with doubled CW.
+            airtime = max(r.airtime_s for r in winners)
+            finish = self.sim.now + access_delay + airtime
+            self.stats.collisions += 1
+            self.stats.busy_time_s += airtime
+            self._busy_until = finish
+            for r in winners:
+                r.attempts += 1
+                if r.attempts > self.retry_limit:
+                    self._pending[r.station].popleft()
+                    self.sim.call_at(finish, self._complete, r, False)
+                else:
+                    r.backoff_slots = self._draw_backoff(r.attempts)
+            self.sim.call_at(finish, self._schedule_round_cb)
+            return
+        self.sim.call_at(finish, self._schedule_round_cb)
+
+    def _schedule_round_cb(self) -> None:
+        self._schedule_round()
+
+    def _complete(self, request: _Request, success: bool) -> None:
+        request.callback(success)
+
+    # ------------------------------------------------------------------
+
+    def utilization(self, elapsed_s: Optional[float] = None) -> float:
+        """Fraction of wall time the channel was busy."""
+        elapsed = elapsed_s if elapsed_s is not None else self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return min(self.stats.busy_time_s / elapsed, 1.0)

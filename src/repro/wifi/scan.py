@@ -1,0 +1,58 @@
+"""BSSID scanning primitives.
+
+Used by the Section 3.3 availability study: a scan yields the set of BSS
+entries the client could *connect to* (i.e. networks it has credentials
+for), from which the study counts BSSIDs and distinct channels — the bars
+and dashes of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class BssEntry:
+    """One beacon heard during a scan."""
+
+    bssid: str
+    ssid: str
+    channel: int
+    band: str
+    rssi_dbm: float
+    #: does the client hold credentials for this network?
+    connectable: bool = True
+
+
+@dataclass
+class ScanResult:
+    """The outcome of one scan at one location."""
+
+    location: str
+    entries: List[BssEntry]
+
+    def connectable(self) -> List[BssEntry]:
+        """Entries on networks the client can join."""
+        return [e for e in self.entries if e.connectable]
+
+    @property
+    def n_bssids(self) -> int:
+        """Count of connectable BSSIDs (Figure 1 bars)."""
+        return len({e.bssid for e in self.connectable()})
+
+    @property
+    def n_channels(self) -> int:
+        """Count of distinct channels among connectable BSSIDs (dashes) —
+        discounts virtual APs that share a radio."""
+        return len({e.channel for e in self.connectable()})
+
+    def strongest(self, n: int = 2) -> List[BssEntry]:
+        """The n connectable entries with the highest RSSI."""
+        return sorted(self.connectable(),
+                      key=lambda e: e.rssi_dbm, reverse=True)[:n]
+
+
+def distinct_channel_count(entries: Sequence[BssEntry]) -> int:
+    """Distinct channels in an arbitrary entry collection."""
+    return len({e.channel for e in entries})

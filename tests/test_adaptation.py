@@ -1,0 +1,101 @@
+"""Tests for the RTCP-driven replication policy."""
+
+import pytest
+
+from repro.core.adaptation import AdaptationConfig, AdaptiveReplicationPolicy
+from repro.traffic.rtcp import ReceiverReport
+
+
+def report(t, loss=0.0, jitter=0.0):
+    return ReceiverReport(timestamp=t, fraction_lost=loss,
+                          cumulative_lost=0, extended_highest_seq=0,
+                          interarrival_jitter_s=jitter)
+
+
+def test_starts_off():
+    policy = AdaptiveReplicationPolicy()
+    assert not policy.replicating
+
+
+def test_turns_on_at_loss_threshold():
+    policy = AdaptiveReplicationPolicy()
+    assert policy.on_report(report(5.0, loss=0.02)) is True
+
+
+def test_stays_off_below_threshold():
+    policy = AdaptiveReplicationPolicy()
+    assert policy.on_report(report(5.0, loss=0.0001)) is False
+
+
+def test_jitter_alone_triggers():
+    policy = AdaptiveReplicationPolicy()
+    assert policy.on_report(report(5.0, jitter=0.050)) is True
+
+
+def test_hysteresis_band_holds_state():
+    config = AdaptationConfig(on_loss_threshold=0.01,
+                              off_loss_threshold=0.001, min_hold_s=0.0)
+    policy = AdaptiveReplicationPolicy(config)
+    policy.on_report(report(5.0, loss=0.02))      # on
+    # Loss inside the band (between off and on): stays on.
+    assert policy.on_report(report(10.0, loss=0.005)) is True
+    # Falls below off threshold: turns off.
+    assert policy.on_report(report(15.0, loss=0.0)) is False
+
+
+def test_min_hold_prevents_flapping():
+    config = AdaptationConfig(min_hold_s=30.0)
+    policy = AdaptiveReplicationPolicy(config)
+    policy.on_report(report(5.0, loss=0.02))      # on at t=5
+    assert policy.on_report(report(10.0, loss=0.0)) is True   # held
+    assert policy.on_report(report(40.0, loss=0.0)) is False  # released
+
+
+def test_callback_invoked_on_change_only():
+    calls = []
+    policy = AdaptiveReplicationPolicy(
+        AdaptationConfig(min_hold_s=0.0),
+        set_replication=calls.append)
+    policy.on_report(report(1.0, loss=0.02))
+    policy.on_report(report(2.0, loss=0.02))     # no change
+    policy.on_report(report(3.0, loss=0.0))
+    assert calls == [True, False]
+
+
+def test_duty_cycle():
+    policy = AdaptiveReplicationPolicy(AdaptationConfig(min_hold_s=0.0))
+    policy.on_report(report(10.0, loss=0.02))    # on at 10
+    policy.on_report(report(40.0, loss=0.0))     # off at 40
+    assert policy.duty_cycle(100.0) == pytest.approx(0.3)
+
+
+def test_duty_cycle_still_on_at_end():
+    policy = AdaptiveReplicationPolicy(AdaptationConfig(min_hold_s=0.0))
+    policy.on_report(report(50.0, loss=0.02))
+    assert policy.duty_cycle(100.0) == pytest.approx(0.5)
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        AdaptationConfig(on_loss_threshold=0.001,
+                         off_loss_threshold=0.01)
+
+
+def test_end_to_end_with_rtcp_receiver():
+    """Wire RTCP receiver -> policy over a lossy then clean stream."""
+    from repro.sim import Simulator
+    sim = Simulator()
+    policy = AdaptiveReplicationPolicy(AdaptationConfig(min_hold_s=0.0))
+    from repro.traffic.rtcp import RtcpReceiver
+    rx = RtcpReceiver(sim, on_report=policy.on_report)
+    rx.start()
+    # 0-10 s: 10% loss; 10-30 s: clean.
+    for seq in range(1500):
+        t = seq * 0.02
+        if t < 10.0 and seq % 10 == 0:
+            continue
+        sim.call_at(t + 0.01, rx.on_packet, seq, t, t + 0.01)
+    sim.run(until=31.0)
+    # The policy must have turned on during the lossy phase and off after.
+    assert any(enabled for _, enabled in policy.decisions)
+    assert policy.decisions[-1][1] is False

@@ -1,0 +1,137 @@
+"""Statistical-equivalence tests for the vectorized fast renderer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.bursts import burst_stats
+from repro.channel.fast import FastLinkRenderer, _ar1_complex
+from repro.channel.gilbert import GilbertParams
+from repro.channel.link import LinkConfig, WifiLink
+from repro.channel.mobility import Position, StaticPosition
+from repro.core.config import StreamProfile
+from repro.sim import RandomRouter
+
+PROFILE = StreamProfile(duration_s=60.0)
+POSITION = Position(10.0, 0.0)
+
+
+def link_config(**kwargs):
+    defaults = dict(
+        name="fastcheck", ap_position=Position(0.0, 0.0),
+        gilbert=GilbertParams(mean_good_s=3.0, mean_bad_s=0.4,
+                              loss_good=0.0, loss_bad=0.97),
+        base_delay_s=0.004)
+    defaults.update(kwargs)
+    return LinkConfig(**defaults)
+
+
+def exact_trace(config, seed):
+    link = WifiLink(config, RandomRouter(seed),
+                    mobility=StaticPosition(POSITION))
+    return link.generate_trace(PROFILE)
+
+
+def fast_trace(config, seed):
+    return FastLinkRenderer(config, POSITION).render(
+        PROFILE, RandomRouter(seed))
+
+
+# ------------------------------------------------------------------- AR(1)
+
+def test_ar1_unit_power():
+    rng = np.random.default_rng(0)
+    x = _ar1_complex(50_000, rho=0.9, rng=rng)
+    assert np.mean(np.abs(x) ** 2) == pytest.approx(1.0, rel=0.1)
+
+
+def test_ar1_correlation():
+    rng = np.random.default_rng(1)
+    rho = 0.8
+    x = _ar1_complex(100_000, rho=rho, rng=rng)
+    measured = np.real(np.mean(x[1:] * np.conj(x[:-1])))
+    assert measured == pytest.approx(rho, abs=0.05)
+
+
+def test_ar1_rho_zero_is_iid():
+    rng = np.random.default_rng(2)
+    x = _ar1_complex(50_000, rho=0.0, rng=rng)
+    measured = np.real(np.mean(x[1:] * np.conj(x[:-1])))
+    assert abs(measured) < 0.02
+
+
+# --------------------------------------------------------- equivalence
+
+def mean_over_seeds(fn, config, seeds):
+    return np.mean([fn(config, s) for s in seeds])
+
+
+def test_fast_matches_exact_loss_rate():
+    config = link_config()
+    seeds = range(6)
+    exact = mean_over_seeds(
+        lambda c, s: exact_trace(c, s).loss_rate, config, seeds)
+    fast = mean_over_seeds(
+        lambda c, s: fast_trace(c, s).loss_rate, config, seeds)
+    # Same order of magnitude and within 2x of each other.
+    assert fast == pytest.approx(exact, rel=1.0, abs=0.01)
+
+
+def test_fast_matches_burstiness():
+    config = link_config()
+    exact_stats = burst_stats([exact_trace(config, s) for s in range(5)])
+    fast_stats = burst_stats([fast_trace(config, s) for s in range(5)])
+    if exact_stats.mean_lost > 1 and fast_stats.mean_lost > 1:
+        # Bursty share similar: both dominated by outage spans.
+        assert abs(exact_stats.bursty_fraction
+                   - fast_stats.bursty_fraction) < 0.35
+
+
+def test_fast_clean_channel_near_lossless():
+    """Right next to the AP (huge SNR margin) a Gilbert-clean channel
+    loses essentially nothing even through deep Rayleigh fades."""
+    from repro.channel.pathloss import PathLossParams
+    config = link_config(
+        gilbert=GilbertParams(mean_good_s=1e9, mean_bad_s=0.01,
+                              loss_good=0.0, loss_bad=0.0),
+        pathloss=PathLossParams(shadowing_sigma_db=0.0))
+    trace = FastLinkRenderer(config, Position(2.0, 0.0)).render(
+        PROFILE, RandomRouter(3))
+    assert trace.loss_rate < 0.005
+    assert np.nanmin(trace.delays) >= config.base_delay_s
+
+
+def test_fast_deterministic():
+    config = link_config()
+    a = fast_trace(config, 7)
+    b = fast_trace(config, 7)
+    assert np.array_equal(a.delivered, b.delivered)
+    assert np.allclose(a.delays, b.delays, equal_nan=True)
+
+
+def test_fast_far_link_lossier():
+    near = FastLinkRenderer(link_config(), Position(3.0, 0.0)).render(
+        PROFILE, RandomRouter(8))
+    from repro.channel.pathloss import PathLossParams
+    far_config = link_config(pathloss=PathLossParams(exponent=3.9))
+    far = FastLinkRenderer(far_config, Position(55.0, 0.0)).render(
+        PROFILE, RandomRouter(8))
+    assert far.loss_rate >= near.loss_rate
+
+
+def test_fast_is_much_faster():
+    config = link_config()
+    t0 = time.time()
+    exact_trace(config, 9)
+    exact_time = time.time() - t0
+    t0 = time.time()
+    fast_trace(config, 9)
+    fast_time = time.time() - t0
+    assert fast_time < exact_time / 5.0
+
+
+def test_fast_rician_option():
+    config = link_config(rician_k_db=8.0)
+    trace = fast_trace(config, 10)
+    assert 0.0 <= trace.loss_rate <= 1.0

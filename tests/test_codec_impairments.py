@@ -1,0 +1,55 @@
+"""Tests for the per-codec E-model constants (G.113)."""
+
+import pytest
+
+from repro.experiments.section4 import run_figure6
+from repro.voice.quality import (
+    CODEC_IMPAIRMENTS,
+    codec_impairment,
+    emodel_r_factor,
+)
+
+
+def test_known_codecs_present():
+    for codec in ("g711", "G722", "G723", "G729"):
+        assert codec_impairment(codec).bpl > 0
+
+
+def test_unknown_codec_falls_back_to_g711():
+    assert codec_impairment("opus-super") is CODEC_IMPAIRMENTS["g711"]
+
+
+def test_low_bitrate_codecs_score_worse_at_zero_loss():
+    """Ie > 0 codecs start below G.711 even on a perfect network."""
+    g711 = emodel_r_factor(0.0, 0.05, codec="g711")
+    g729 = emodel_r_factor(0.0, 0.05, codec="G729")
+    g723 = emodel_r_factor(0.0, 0.05, codec="G723")
+    assert g729 < g711
+    assert g723 < g711
+
+
+def test_g711_most_loss_robust():
+    """G.711's PLC (highest Bpl) degrades most gracefully with loss."""
+    def drop(codec):
+        return (emodel_r_factor(0.0, 0.05, codec=codec)
+                - emodel_r_factor(0.05, 0.05, codec=codec))
+    assert drop("g711") < drop("G722")
+
+
+def test_rtp_profiles_map_to_impairments():
+    """Every static RTP profile's codec has G.113 constants."""
+    from repro.traffic.rtp import RTP_PROFILES
+    for profile in RTP_PROFILES.values():
+        constants = codec_impairment(profile.name)
+        assert constants.bpl > 0
+
+
+def test_figure6_ci_present_when_poor_calls_exist():
+    result = run_figure6(n_runs_per_scenario=4, seed=3)
+    rendered = result.render()
+    assert "overall improvement" in rendered
+    # raw indicators captured for the bootstrap
+    assert set(result.raw_poors) == {"stronger", "cross-link"}
+    interval = result.improvement_interval()
+    if interval is not None:
+        assert interval.low <= result.improvement_factor() * 1.5

@@ -1,0 +1,223 @@
+"""Tests for the future-work extensions: FEC baseline, cellular hedging,
+uplink DiversiFi."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.cellular import CellularConfig, CellularLink
+from repro.channel.gilbert import GilbertParams
+from repro.channel.link import LinkConfig, WifiLink
+from repro.channel.mobility import Position, StaticPosition
+from repro.core.config import StreamProfile
+from repro.core.fec import FecConfig, apply_fec, render_fec_run
+from repro.core.packet import LinkTrace, merge_traces
+from repro.core.uplink import UplinkDiversiFiClient, run_uplink_session
+from repro.sim import Simulator
+from repro.sim.random import RandomRouter
+
+SHORT = StreamProfile(duration_s=10.0)
+
+
+def trace_of(losses, name="t", delay=0.005, spacing=0.02):
+    delivered = [not bool(x) for x in losses]
+    delays = [delay if d else math.nan for d in delivered]
+    return LinkTrace(name, np.arange(len(losses)) * spacing,
+                     delivered, delays)
+
+
+def parity_of(delivered_flags, spacing=0.1):
+    delays = [0.005 if d else math.nan for d in delivered_flags]
+    return LinkTrace("parity", np.arange(len(delivered_flags)) * spacing,
+                     delivered_flags, delays)
+
+
+# --------------------------------------------------------------------- FEC
+
+def test_fec_recovers_isolated_loss():
+    data = trace_of([0, 1, 0, 0, 0])          # one loss in the block
+    parity = parity_of([True])
+    decoded = apply_fec(data, parity, FecConfig(block_size=5))
+    assert decoded.delivered.all()
+
+
+def test_fec_cannot_recover_burst():
+    data = trace_of([0, 1, 1, 0, 0])          # two losses in one block
+    parity = parity_of([True])
+    decoded = apply_fec(data, parity, FecConfig(block_size=5))
+    assert not decoded.delivered[1]
+    assert not decoded.delivered[2]
+
+
+def test_fec_needs_parity():
+    data = trace_of([0, 1, 0, 0, 0])
+    parity = parity_of([False])               # parity lost too
+    decoded = apply_fec(data, parity, FecConfig(block_size=5))
+    assert not decoded.delivered[1]
+
+
+def test_fec_decode_deadline_enforced():
+    data = trace_of([1, 0, 0, 0, 0])
+    # Block completes only at the last packet (t=80 ms) + parity; with a
+    # 50 ms deadline the first packet cannot be recovered in time.
+    parity = parity_of([True], spacing=0.1)
+    decoded = apply_fec(data, parity, FecConfig(block_size=5),
+                        decode_deadline_s=0.050)
+    assert not decoded.delivered[0]
+
+
+def test_fec_overhead_constant():
+    assert FecConfig(block_size=5).overhead_fraction == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        FecConfig(block_size=0)
+
+
+def test_fec_render_and_decode_on_real_link():
+    config = LinkConfig(
+        name="w", ap_position=Position(0, 0),
+        gilbert=GilbertParams(mean_good_s=2.0, mean_bad_s=0.3,
+                              loss_good=0.0, loss_bad=0.98))
+    link = WifiLink(config, RandomRouter(3),
+                    mobility=StaticPosition(Position(8, 0)))
+    data, parity = render_fec_run(link, SHORT)
+    decoded = apply_fec(data, parity)
+    assert decoded.loss_rate <= data.loss_rate
+
+
+def test_fec_loses_to_cross_link_on_bursty_channel():
+    """The headline contrast: burst losses defeat single-link coding but
+    not cross-link replication."""
+    def wifi(seed, name):
+        config = LinkConfig(
+            name=name, ap_position=Position(0, 0),
+            gilbert=GilbertParams(mean_good_s=1.5, mean_bad_s=0.4,
+                                  loss_good=0.0, loss_bad=0.99))
+        return WifiLink(config, RandomRouter(seed),
+                        mobility=StaticPosition(Position(10, 0)))
+
+    data, parity = render_fec_run(wifi(10, "A"), SHORT)
+    fec_trace = apply_fec(data, parity)
+
+    link_a, link_b = wifi(10, "A"), wifi(11, "B")
+    merged = merge_traces([link_a.generate_trace(SHORT),
+                           link_b.generate_trace(SHORT)])
+    assert merged.loss_rate < fec_trace.loss_rate
+
+
+# ---------------------------------------------------------------- cellular
+
+def test_cellular_low_steady_loss():
+    link = CellularLink(CellularConfig(outage=GilbertParams(
+        mean_good_s=1e9, mean_bad_s=0.01, loss_good=0.0, loss_bad=0.0)),
+        RandomRouter(1))
+    trace = link.generate_trace(SHORT)
+    assert trace.loss_rate < 0.01
+
+
+def test_cellular_delay_higher_than_wifi():
+    link = CellularLink(CellularConfig(), RandomRouter(2))
+    trace = link.generate_trace(SHORT)
+    delays = trace.delays[trace.delivered]
+    assert np.median(delays) > 0.030
+
+
+def test_cellular_outages_are_long():
+    config = CellularConfig(outage=GilbertParams(
+        mean_good_s=5.0, mean_bad_s=2.0, loss_good=0.0, loss_bad=1.0))
+    link = CellularLink(config, RandomRouter(3))
+    trace = link.generate_trace(StreamProfile(duration_s=60.0))
+    from repro.analysis.bursts import burst_lengths
+    bursts = burst_lengths(trace)
+    assert bursts and max(bursts) > 20      # multi-second outage
+
+
+def test_cross_technology_hedging_beats_either():
+    wifi_config = LinkConfig(
+        name="wifi", ap_position=Position(0, 0),
+        gilbert=GilbertParams(mean_good_s=2.0, mean_bad_s=0.5,
+                              loss_good=0.0, loss_bad=0.98))
+    wifi = WifiLink(wifi_config, RandomRouter(4),
+                    mobility=StaticPosition(Position(12, 0)))
+    lte = CellularLink(CellularConfig(outage=GilbertParams(
+        mean_good_s=20.0, mean_bad_s=1.0, loss_good=0.0, loss_bad=1.0)),
+        RandomRouter(5))
+    wifi_trace = wifi.generate_trace(SHORT)
+    lte_trace = lte.generate_trace(SHORT)
+    merged = merge_traces([wifi_trace, lte_trace])
+    assert merged.loss_rate <= wifi_trace.loss_rate
+    assert merged.loss_rate <= lte_trace.loss_rate
+
+
+def test_cellular_cost_accounting():
+    link = CellularLink(CellularConfig(cost_per_mb=2.0), RandomRouter(6))
+    link.generate_trace(SHORT)
+    expected_mb = SHORT.n_packets * 160 / 1e6
+    assert link.duplicate_cost() == pytest.approx(expected_mb * 2.0)
+
+
+# ------------------------------------------------------------------ uplink
+
+def uplink_factory(primary_gilbert, secondary_gilbert=None):
+    def build(router):
+        client_pos = StaticPosition(Position(0, 0))
+        primary = WifiLink(
+            LinkConfig(name="up-p", ap_position=Position(6, 0),
+                       gilbert=primary_gilbert, base_delay_s=0.0),
+            router, mobility=client_pos)
+        secondary = WifiLink(
+            LinkConfig(name="up-s", ap_position=Position(10, 0),
+                       gilbert=secondary_gilbert or GilbertParams(
+                           mean_good_s=1e9, mean_bad_s=0.01,
+                           loss_good=0.0, loss_bad=0.0),
+                       base_delay_s=0.0),
+            router, mobility=client_pos)
+        return primary, secondary
+    return build
+
+
+def outage():
+    return GilbertParams(mean_good_s=2.0, mean_bad_s=0.4,
+                         loss_good=0.0, loss_bad=0.999)
+
+
+def test_uplink_clean_channel_lossless():
+    client = run_uplink_session(
+        uplink_factory(GilbertParams(mean_good_s=1e9, mean_bad_s=0.01,
+                                     loss_good=0.0, loss_bad=0.0)),
+        SHORT, seed=1)
+    assert client.trace.loss_rate == 0.0
+    assert client.stats.switches == 0
+
+
+def test_uplink_recovers_failures():
+    baseline = run_uplink_session(uplink_factory(outage()), SHORT,
+                                  seed=2, enabled=False)
+    hedged = run_uplink_session(uplink_factory(outage()), SHORT,
+                                seed=2, enabled=True)
+    assert hedged.stats.failures_primary > 0
+    assert hedged.trace.loss_rate < baseline.trace.loss_rate
+    assert hedged.stats.retransmissions > 0
+
+
+def test_uplink_retransmits_only_on_failure():
+    """No proactive duplication: secondary transmissions are bounded by
+    failures plus the packets that came due while off-channel."""
+    client = run_uplink_session(uplink_factory(outage()), SHORT, seed=3)
+    budget = (client.stats.failures_primary * 3
+              + client.stats.switches * 5 + 10)
+    assert client.stats.sent_secondary <= budget
+
+
+def test_uplink_respects_deadline():
+    client = run_uplink_session(uplink_factory(outage()), SHORT, seed=4)
+    eff = client.trace.effective_trace(deadline=0.100)
+    delays = eff.delays[eff.delivered]
+    if delays.size:
+        assert np.nanmax(delays) <= 0.100 + 1e-9
+
+
+def test_uplink_deterministic():
+    a = run_uplink_session(uplink_factory(outage()), SHORT, seed=5)
+    b = run_uplink_session(uplink_factory(outage()), SHORT, seed=5)
+    assert a.trace.arrivals == b.trace.arrivals

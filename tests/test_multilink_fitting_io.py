@@ -1,0 +1,259 @@
+"""Tests for N-link diversity, Gilbert fitting, dataset IO, and RTCP."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_gilbert, fitted_loss_rate
+from repro.channel.gilbert import GilbertParams, sample_loss_array
+from repro.channel.link import LinkConfig, WifiLink
+from repro.channel.mobility import Position, StaticPosition
+from repro.core.config import StreamProfile
+from repro.core.multilink import (
+    best_of,
+    diversity_gain_curve,
+    make_before_break,
+    render_multilink_run,
+)
+from repro.core.packet import LinkTrace
+from repro.io import (
+    load_paired_runs,
+    load_result_json,
+    load_traces,
+    save_paired_runs,
+    save_result_json,
+    save_traces,
+)
+from repro.scenarios import generate_wild_runs
+from repro.sim import RandomRouter, Simulator
+from repro.traffic.rtcp import RtcpReceiver
+
+SHORT = StreamProfile(duration_s=10.0)
+
+
+def make_links(n, seed=0, bad=True):
+    client = StaticPosition(Position(0, 0))
+    router = RandomRouter(seed)
+    links = []
+    for i in range(n):
+        gilbert = GilbertParams(mean_good_s=2.0, mean_bad_s=0.4,
+                                loss_good=0.0, loss_bad=0.98) if bad \
+            else GilbertParams(mean_good_s=1e9, mean_bad_s=0.01,
+                               loss_good=0.0, loss_bad=0.0)
+        links.append(WifiLink(
+            LinkConfig(name=f"L{i}", ap_position=Position(5.0 + 2 * i, 0),
+                       gilbert=gilbert, base_delay_s=0.0),
+            router, mobility=client))
+    return links
+
+
+# --------------------------------------------------------------- multilink
+
+def test_render_multilink_shapes():
+    run = render_multilink_run(make_links(3), SHORT)
+    assert run.n_links == 3
+    assert all(len(t) == SHORT.n_packets for t in run.traces)
+    assert len(run.rssi_dbm) == 3
+
+
+def test_render_multilink_empty_rejected():
+    with pytest.raises(ValueError):
+        render_multilink_run([], SHORT)
+
+
+def test_best_of_k_bounds():
+    run = render_multilink_run(make_links(2), SHORT)
+    with pytest.raises(ValueError):
+        best_of(run, 0)
+    with pytest.raises(ValueError):
+        best_of(run, 3)
+
+
+def test_best_of_one_is_strongest_link():
+    run = render_multilink_run(make_links(3), SHORT)
+    strongest = int(np.argmax(run.rssi_dbm))
+    assert best_of(run, 1).name == run.traces[strongest].name
+
+
+def test_diversity_gain_monotone():
+    """More links can only help (loss is a union over links)."""
+    runs = [render_multilink_run(make_links(4, seed=s), SHORT)
+            for s in range(3)]
+    curve = diversity_gain_curve(runs, metric=lambda t: t.loss_rate)
+    values = [curve[k] for k in sorted(curve)]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    assert curve[4] < curve[1]     # diversity pays on bad links
+
+
+def test_diversity_diminishing_returns():
+    runs = [render_multilink_run(make_links(4, seed=s + 10), SHORT)
+            for s in range(4)]
+    curve = diversity_gain_curve(runs, metric=lambda t: t.loss_rate)
+    first_gain = curve[1] - curve[2]
+    later_gain = curve[3] - curve[4]
+    assert first_gain >= later_gain - 1e-9
+
+
+def test_make_before_break_no_gap():
+    run = render_multilink_run(make_links(2, bad=False), SHORT)
+    trace = make_before_break(run)
+    assert trace.loss_rate == 0.0
+
+
+def test_make_before_break_between_selection_and_diversity():
+    runs = [render_multilink_run(make_links(2, seed=s + 20), SHORT)
+            for s in range(4)]
+    mbb = np.mean([make_before_break(r).loss_rate for r in runs])
+    stay = np.mean([best_of(r, 1).loss_rate for r in runs])
+    merge = np.mean([best_of(r, 2).loss_rate for r in runs])
+    assert merge <= mbb + 1e-9       # replication dominates handoff
+    assert mbb <= stay + 0.02        # handoff at least ~matches staying
+
+
+# ----------------------------------------------------------------- fitting
+
+def test_fit_recovers_generating_parameters():
+    params = GilbertParams(mean_good_s=2.0, mean_bad_s=0.3,
+                           loss_good=0.0, loss_bad=1.0)
+    rng = RandomRouter(1).stream("fit")
+    losses = sample_loss_array(params, 200_000, 0.02, rng)
+    fit = fit_gilbert(losses, spacing_s=0.02)
+    assert fit.params.mean_bad_s == pytest.approx(0.3, rel=0.25)
+    assert fit.params.mean_good_s == pytest.approx(2.0, rel=0.25)
+    assert fit.loss_rate == pytest.approx(
+        params.stationary_bad_fraction, rel=0.2)
+
+
+def test_fit_stationary_rate_consistent():
+    params = GilbertParams(mean_good_s=1.0, mean_bad_s=0.2,
+                           loss_good=0.0, loss_bad=1.0)
+    rng = RandomRouter(2).stream("fit")
+    losses = sample_loss_array(params, 100_000, 0.02, rng)
+    fit = fit_gilbert(losses, spacing_s=0.02)
+    assert fitted_loss_rate(fit) == pytest.approx(fit.loss_rate, rel=0.2)
+
+
+def test_fit_clean_trace():
+    fit = fit_gilbert(np.zeros(1000))
+    assert fit.loss_rate == 0.0
+    assert fit.n_bursts == 0
+
+
+def test_fit_empty_raises():
+    with pytest.raises(ValueError):
+        fit_gilbert(np.array([]))
+
+
+def test_fit_burst_length_estimate():
+    losses = np.array(([0] * 20 + [1] * 4) * 50, dtype=float)
+    fit = fit_gilbert(losses)
+    assert fit.mean_burst_packets == pytest.approx(4.0)
+    assert fit.n_bursts == 50
+
+
+# ---------------------------------------------------------------------- IO
+
+def trace_of(losses, name="t"):
+    delivered = [not bool(x) for x in losses]
+    delays = [0.005 if d else math.nan for d in delivered]
+    return LinkTrace(name, np.arange(len(losses)) * 0.02,
+                     delivered, delays)
+
+
+def test_traces_roundtrip(tmp_path):
+    traces = [trace_of([0, 1, 0], "a"), trace_of([1, 1, 0], "b")]
+    path = tmp_path / "traces.npz"
+    save_traces(path, traces)
+    loaded = load_traces(path)
+    assert [t.name for t in loaded] == ["a", "b"]
+    for orig, back in zip(traces, loaded):
+        assert np.array_equal(orig.delivered, back.delivered)
+        assert np.allclose(orig.send_times, back.send_times)
+
+
+def test_paired_runs_roundtrip(tmp_path):
+    runs = generate_wild_runs(2, SHORT, seed=6, temporal_deltas=(0.1,))
+    path = tmp_path / "runs.npz"
+    save_paired_runs(path, runs)
+    loaded = load_paired_runs(path)
+    assert len(loaded) == 2
+    for orig, back in zip(runs, loaded):
+        assert orig.scenario == back.scenario
+        assert np.array_equal(orig.trace_a.delivered,
+                              back.trace_a.delivered)
+        assert set(back.offset_traces) == {0.1}
+        assert orig.rssi_a_dbm == pytest.approx(back.rssi_a_dbm)
+
+
+def test_result_json_roundtrip(tmp_path):
+    from repro.experiments.section3 import run_figure1
+    result = run_figure1(seed=0)
+    path = tmp_path / "fig1.json"
+    save_result_json(path, result)
+    loaded = load_result_json(path)
+    assert loaded["residential_multi_fraction"] == pytest.approx(
+        result.residential_multi_fraction)
+
+
+# -------------------------------------------------------------------- RTCP
+
+def test_rtcp_counts_losses():
+    sim = Simulator()
+    rx = RtcpReceiver(sim)
+    rx.start()
+    # 100 packets at 20 ms; every 5th lost.
+    for seq in range(100):
+        if seq % 5 == 0:
+            continue
+        t = seq * 0.02
+        sim.call_at(t + 0.01, rx.on_packet, seq, t, t + 0.01)
+    sim.run(until=6.0)
+    assert rx.reports
+    report = rx.reports[0]
+    assert report.fraction_lost == pytest.approx(0.2, abs=0.03)
+    assert report.cumulative_lost == pytest.approx(20, abs=3)
+
+
+def test_rtcp_jitter_estimator():
+    sim = Simulator()
+    rx = RtcpReceiver(sim)
+    rng = RandomRouter(3).stream("jit")
+    for seq in range(500):
+        t = seq * 0.02
+        arrival = t + 0.01 + float(rng.uniform(0, 0.008))
+        sim.call_at(arrival, rx.on_packet, seq, t, arrival)
+    sim.run()
+    # Uniform(0,8ms) transit variation -> mean |D| ~ 2.7 ms.
+    assert 0.0005 < rx.interarrival_jitter_s < 0.008
+
+
+def test_rtcp_constant_delay_zero_jitter():
+    sim = Simulator()
+    rx = RtcpReceiver(sim)
+    for seq in range(50):
+        t = seq * 0.02
+        sim.call_at(t + 0.01, rx.on_packet, seq, t, t + 0.01)
+    sim.run()
+    assert rx.interarrival_jitter_s == pytest.approx(0.0, abs=1e-9)
+
+
+def test_rtcp_interval_randomized():
+    sim = Simulator()
+    rng = RandomRouter(4).stream("rtcp")
+    rx = RtcpReceiver(sim, rng=rng)
+    rx.start()
+    sim.run(until=30.0)
+    gaps = np.diff([r.timestamp for r in rx.reports])
+    assert len(gaps) >= 3
+    assert gaps.min() >= 2.5 - 1e-9
+    assert gaps.max() <= 7.5 + 1e-9
+    assert gaps.std() > 0.0
+
+
+def test_rtcp_double_start_rejected():
+    sim = Simulator()
+    rx = RtcpReceiver(sim)
+    rx.start()
+    with pytest.raises(RuntimeError):
+        rx.start()

@@ -1,0 +1,254 @@
+"""Tests for the wired-side substrate: WAN, LAN, SDN switch, middlebox."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MiddleboxConfig
+from repro.core.packet import Packet
+from repro.net.lan import LanSegment
+from repro.net.middlebox import Middlebox
+from repro.net.sdn import FlowMatch, MatchAction, SdnSwitch
+from repro.net.wan import WanPath, WanPathParams
+from repro.sim import RandomRouter, Simulator
+
+
+def rng(name="net", seed=0):
+    return RandomRouter(seed).stream(name)
+
+
+def packet(seq=0, flow="rt0"):
+    return Packet(seq=seq, send_time=0.0, flow_id=flow)
+
+
+# --------------------------------------------------------------------- WAN
+
+def test_wan_delay_at_least_base():
+    path = WanPath(WanPathParams(base_delay_s=0.040), rng())
+    for _ in range(100):
+        assert path.sample_delay() >= 0.040
+
+
+def test_wan_loss_rate_statistical():
+    path = WanPath(WanPathParams(loss_prob=0.10), rng(seed=1))
+    losses = sum(path.sample_loss() for _ in range(5000))
+    assert losses / 5000 == pytest.approx(0.10, abs=0.02)
+
+
+def test_wan_overload_adds_tail():
+    quiet = WanPath(WanPathParams(overload_prob=0.0), rng("a", 2))
+    loaded = WanPath(WanPathParams(overload_prob=0.5,
+                                   overload_delay_s=0.2), rng("b", 2))
+    q = np.mean([quiet.sample_delay() for _ in range(500)])
+    l = np.mean([loaded.sample_delay() for _ in range(500)])
+    assert l > q + 0.05
+
+
+def test_wan_event_mode_delivers():
+    sim = Simulator()
+    got = []
+    path = WanPath(WanPathParams(base_delay_s=0.04, loss_prob=0.0),
+                   rng(seed=3), sim=sim, sink=lambda p: got.append(sim.now))
+    sim.call_at(0.0, path.send, packet())
+    sim.run()
+    assert got and got[0] >= 0.04
+    assert path.forwarded == 1
+
+
+def test_wan_event_mode_requires_wiring():
+    path = WanPath(WanPathParams(), rng())
+    with pytest.raises(RuntimeError):
+        path.send(packet())
+
+
+# --------------------------------------------------------------------- LAN
+
+def test_lan_forwards_with_small_delay():
+    sim = Simulator()
+    got = []
+    lan = LanSegment(sim, lambda p: got.append((p.seq, sim.now)),
+                     rng(seed=4))
+    sim.call_at(0.0, lan.send, packet(9))
+    sim.run()
+    assert got[0][0] == 9
+    assert 0.0005 <= got[0][1] <= 0.0008
+
+
+def test_lan_preserves_order():
+    sim = Simulator()
+    got = []
+    lan = LanSegment(sim, lambda p: got.append(p.seq), rng(seed=5),
+                     jitter_s=0.0)
+    for i in range(5):
+        sim.call_at(0.001 * i, lan.send, packet(i))
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+# --------------------------------------------------------------------- SDN
+
+def test_sdn_replicates_to_both_ports():
+    sim = Simulator()
+    out_a, out_b = [], []
+    switch = SdnSwitch(sim)
+    switch.attach_port("a", out_a.append)
+    switch.attach_port("b", out_b.append)
+    switch.install_rule(MatchAction(FlowMatch(flow_id="rt0"), ["a", "b"]))
+    sim.call_at(0.0, switch.ingress, packet(1))
+    sim.run()
+    assert len(out_a) == 1 and len(out_b) == 1
+    assert not out_a[0].is_duplicate
+    assert out_b[0].is_duplicate
+
+
+def test_sdn_rule_priority():
+    sim = Simulator()
+    hi, lo = [], []
+    switch = SdnSwitch(sim)
+    switch.attach_port("hi", hi.append)
+    switch.attach_port("lo", lo.append)
+    switch.install_rule(MatchAction(FlowMatch(), ["lo"], priority=1))
+    switch.install_rule(MatchAction(FlowMatch(flow_id="rt0"), ["hi"],
+                                    priority=10))
+    sim.call_at(0.0, switch.ingress, packet(flow="rt0"))
+    sim.call_at(0.0, switch.ingress, packet(flow="web"))
+    sim.run()
+    assert len(hi) == 1 and len(lo) == 1
+
+
+def test_sdn_table_miss_counted():
+    sim = Simulator()
+    switch = SdnSwitch(sim)
+    sim.call_at(0.0, switch.ingress, packet())
+    sim.run()
+    assert switch.table_misses == 1
+
+
+def test_sdn_unknown_port_rejected():
+    sim = Simulator()
+    switch = SdnSwitch(sim)
+    with pytest.raises(ValueError):
+        switch.install_rule(MatchAction(FlowMatch(), ["ghost"]))
+
+
+def test_sdn_rule_removal():
+    sim = Simulator()
+    switch = SdnSwitch(sim)
+    switch.attach_port("a", lambda p: None)
+    switch.install_rule(MatchAction(FlowMatch(flow_id="rt0"), ["a"]))
+    assert switch.remove_rules_for("rt0") == 1
+    sim.call_at(0.0, switch.ingress, packet())
+    sim.run()
+    assert switch.table_misses == 1
+
+
+def test_sdn_match_counters():
+    sim = Simulator()
+    switch = SdnSwitch(sim)
+    switch.attach_port("a", lambda p: None)
+    rule = MatchAction(FlowMatch(flow_id="rt0"), ["a"])
+    switch.install_rule(rule)
+    for i in range(3):
+        sim.call_at(0.0, switch.ingress, packet(i))
+    sim.run()
+    assert rule.packets_matched == 3
+
+
+# --------------------------------------------------------------- middlebox
+
+def make_middlebox(sim, depth=3):
+    return Middlebox(sim, MiddleboxConfig(buffer_len=depth))
+
+
+def test_middlebox_buffers_until_start():
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    got = []
+    mbox.register_flow("rt0", got.append)
+    for i in range(2):
+        sim.call_at(0.0, mbox.replica_arrival, packet(i))
+    sim.run()
+    assert got == []
+    assert mbox.stats.buffered == 2
+
+
+def test_middlebox_start_drains_buffer():
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    got = []
+    mbox.register_flow("rt0", got.append)
+    for i in range(2):
+        sim.call_at(0.0, mbox.replica_arrival, packet(i))
+    sim.call_at(1.0, mbox.start, "rt0")
+    sim.run()
+    assert [p.seq for p in got] == [0, 1]
+
+
+def test_middlebox_head_drop_on_overflow():
+    sim = Simulator()
+    mbox = make_middlebox(sim, depth=2)
+    got = []
+    mbox.register_flow("rt0", got.append)
+    for i in range(5):
+        sim.call_at(0.001 * i, mbox.replica_arrival, packet(i))
+    sim.call_at(1.0, mbox.start, "rt0")
+    sim.run()
+    assert [p.seq for p in got] == [3, 4]
+    assert mbox.stats.buffer_drops == 3
+
+
+def test_middlebox_streams_live_until_stop():
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    got = []
+    mbox.register_flow("rt0", got.append)
+    sim.call_at(0.0, mbox.start, "rt0")
+    sim.call_at(0.1, mbox.replica_arrival, packet(1))
+    sim.call_at(0.2, mbox.stop, "rt0")
+    sim.call_at(0.3, mbox.replica_arrival, packet(2))
+    sim.run()
+    assert [p.seq for p in got] == [1]       # live while streaming only
+    assert mbox.stats.stop_messages == 1
+
+
+def test_middlebox_unknown_flow_ignored_on_data_path():
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    sim.call_at(0.0, mbox.replica_arrival, packet(flow="ghost"))
+    sim.run()
+    assert mbox.stats.buffered == 0
+
+
+def test_middlebox_unknown_flow_control_raises():
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    with pytest.raises(KeyError):
+        mbox.start("ghost")
+
+
+def test_middlebox_duplicate_registration_raises():
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    mbox.register_flow("rt0", lambda p: None)
+    with pytest.raises(ValueError):
+        mbox.register_flow("rt0", lambda p: None)
+
+
+def test_middlebox_service_delay_scales_with_load():
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    mbox.register_flow("rt0", lambda p: None)
+    base = mbox.service_delay_s()
+    for i in range(999):
+        mbox.register_flow(f"t{i}", lambda p: None)
+    loaded = mbox.service_delay_s()
+    # Section 6.4: ~+1.1 ms from 0 to 1000 streams.
+    assert loaded - base == pytest.approx(0.0011, rel=0.05)
+
+
+def test_middlebox_deregister_reduces_load():
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    mbox.register_flow("rt0", lambda p: None)
+    mbox.register_flow("rt1", lambda p: None)
+    mbox.deregister_flow("rt1")
+    assert mbox.registered_streams == 1

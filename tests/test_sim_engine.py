@@ -1,0 +1,185 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=5.0)
+    assert sim.now == 5.0
+
+
+def test_call_at_fires_at_time():
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.5]
+    assert sim.now == 1.5
+
+
+def test_call_in_relative():
+    sim = Simulator(start_time=2.0)
+    fired = []
+    sim.call_in(0.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.5]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_at(3.0, lambda: order.append("c"))
+    sim.call_at(1.0, lambda: order.append("a"))
+    sim.call_at(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.call_at(1.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_callback_args_passed():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda a, b: seen.append((a, b)), 7, "x")
+    sim.run()
+    assert seen == [(7, "x")]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(9.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.call_at(1.0, fired.append, "nope")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.call_at(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert sim.events_executed == 0
+
+
+def test_run_until_horizon_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_at(5.0, fired.append, "late")
+    final = sim.run(until=2.0)
+    assert final == 2.0
+    assert fired == []
+    # Continuing past the horizon fires the event.
+    sim.run(until=10.0)
+    assert fired == ["late"]
+
+
+def test_event_exactly_at_horizon_fires():
+    sim = Simulator()
+    fired = []
+    sim.call_at(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append((sim.now, n))
+        if n > 0:
+            sim.call_in(1.0, chain, n - 1)
+
+    sim.call_at(0.0, chain, 3)
+    sim.run()
+    assert fired == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+def test_stop_halts_loop():
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.call_at(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1.0
+
+
+def test_step_returns_false_on_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.0, fired.append, 1)
+    sim.call_at(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.now == 1.0
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    event = sim.call_at(1.0, lambda: None)
+    sim.call_at(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.call_at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_reentrant_run_raises():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.call_at(1.0, nested)
+    sim.run()
+    assert len(errors) == 1

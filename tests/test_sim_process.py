@@ -1,0 +1,165 @@
+"""Unit tests for coroutine-style processes."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout, WaitEvent
+from repro.sim.engine import SimulationError
+from repro.sim.process import Interrupted, Process, Signal
+
+
+def test_process_runs_timeouts():
+    sim = Simulator()
+    ticks = []
+
+    def proc():
+        for _ in range(3):
+            ticks.append(sim.now)
+            yield Timeout(1.0)
+
+    Process(sim, proc())
+    sim.run()
+    assert ticks == [0.0, 1.0, 2.0]
+
+
+def test_process_return_value_captured():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = Process(sim, proc())
+    sim.run()
+    assert p.result == 42
+    assert not p.alive
+
+
+def test_zero_timeout_defers_not_reentrant():
+    sim = Simulator()
+    order = []
+
+    def proc():
+        order.append("proc")
+        yield Timeout(0.0)
+        order.append("proc2")
+
+    def starter():
+        Process(sim, proc())
+        order.append("starter-done")
+
+    sim.call_at(0.0, starter)
+    sim.run()
+    # The process body must not run inside starter's event.
+    assert order == ["starter-done", "proc", "proc2"]
+
+
+def test_wait_event_receives_value():
+    sim = Simulator()
+    signal = Signal()
+    got = []
+
+    def waiter():
+        value = yield WaitEvent(signal)
+        got.append((sim.now, value))
+
+    Process(sim, waiter())
+    sim.call_at(2.0, signal.trigger, "hello")
+    sim.run()
+    assert got == [(2.0, "hello")]
+
+
+def test_signal_wakes_all_waiters():
+    sim = Simulator()
+    signal = Signal()
+    woken = []
+
+    def waiter(name):
+        yield WaitEvent(signal)
+        woken.append(name)
+
+    Process(sim, waiter("a"))
+    Process(sim, waiter("b"))
+    sim.call_at(1.0, signal.trigger)
+    sim.run()
+    assert sorted(woken) == ["a", "b"]
+
+
+def test_signal_trigger_returns_count():
+    sim = Simulator()
+    signal = Signal()
+
+    def waiter():
+        yield WaitEvent(signal)
+
+    Process(sim, waiter())
+    counts = []
+    sim.call_at(1.0, lambda: counts.append(signal.trigger()))
+    sim.call_at(2.0, lambda: counts.append(signal.trigger()))
+    sim.run()
+    assert counts == [1, 0]
+
+
+def test_interrupt_throws_into_process():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        try:
+            yield Timeout(100.0)
+        except Interrupted as exc:
+            caught.append((sim.now, exc.cause))
+
+    p = Process(sim, proc())
+    sim.call_at(3.0, p.interrupt, "reason")
+    sim.run()
+    assert caught == [(3.0, "reason")]
+    assert not p.alive
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    p = Process(sim, proc())
+    sim.run()
+    assert not p.alive
+    p.interrupt()  # must not raise
+    sim.run()
+
+
+def test_unsupported_yield_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not-a-command"
+
+    Process(sim, proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-0.5)
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    trace = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            trace.append((sim.now, name))
+            yield Timeout(period)
+
+    Process(sim, ticker("fast", 1.0))
+    Process(sim, ticker("slow", 2.0))
+    sim.run()
+    # At t=2.0 the slow ticker's wakeup was scheduled first (at t=0.0),
+    # so FIFO tie-breaking runs it before the fast ticker's (from t=1.0).
+    assert trace == [
+        (0.0, "fast"), (0.0, "slow"),
+        (1.0, "fast"), (2.0, "slow"), (2.0, "fast"), (4.0, "slow"),
+    ]

@@ -1,0 +1,199 @@
+"""Tests for the Section 3 measurement-study simulations."""
+
+import numpy as np
+import pytest
+
+from repro.channel.gilbert import GilbertParams, sample_loss_array
+from repro.sim import RandomRouter
+from repro.studies.nettest import (
+    CATEGORY_COUNTS,
+    run_nettest_study,
+)
+from repro.studies.provider import (
+    ProviderDataset,
+    RatedCall,
+    analyze_table1,
+    synthesize_provider_year,
+)
+from repro.studies.scan import (
+    SURVEY_LOCATIONS,
+    VENUE_CLASSES,
+    residential_multi_bssid_fraction,
+    run_site_survey,
+)
+
+
+# ------------------------------------------------------- fast Gilbert path
+
+def test_sample_loss_array_statistics():
+    params = GilbertParams(mean_good_s=1.0, mean_bad_s=0.25,
+                           loss_good=0.0, loss_bad=1.0)
+    rng = RandomRouter(0).stream("fast")
+    losses = sample_loss_array(params, 100_000, 0.02, rng)
+    assert losses.mean() == pytest.approx(
+        params.stationary_bad_fraction, abs=0.04)
+
+
+def test_sample_loss_array_bursty():
+    params = GilbertParams(mean_good_s=2.0, mean_bad_s=0.3,
+                           loss_good=0.0, loss_bad=1.0)
+    rng = RandomRouter(1).stream("fast")
+    x = sample_loss_array(params, 50_000, 0.02, rng)
+    x = x - x.mean()
+    lag1 = float(np.dot(x[:-1], x[1:]) / np.dot(x, x))
+    assert lag1 > 0.5
+
+
+def test_sample_loss_array_length():
+    params = GilbertParams()
+    rng = RandomRouter(2).stream("fast")
+    assert len(sample_loss_array(params, 123, 0.02, rng)) == 123
+
+
+# ----------------------------------------------------------- provider study
+
+@pytest.fixture(scope="module")
+def provider_dataset():
+    return synthesize_provider_year(n_calls=60_000, seed=0)
+
+
+def test_provider_pcr_in_plausible_range(provider_dataset):
+    pcr = provider_dataset.pcr()
+    assert 0.05 < pcr < 0.35
+
+
+def test_provider_has_all_categories(provider_dataset):
+    categories = {c.category for c in provider_dataset.calls}
+    assert categories == {"EE", "EW", "WW"}
+
+
+def test_table1_row_structure(provider_dataset):
+    rows = analyze_table1(provider_dataset)
+    assert len(rows) == 4
+    assert rows[0].label == "All"
+    assert rows[0].n_calls == len(provider_dataset.calls)
+    assert rows[1].n_calls <= rows[0].n_calls  # subsets shrink
+
+
+def test_table1_wifi_gap_direction(provider_dataset):
+    """The paper's core finding: in the full population EE beats the
+    baseline, WW trails it, EW sits between — and EE stays the best
+    category in every subset row (the WW subsets are small by
+    construction, so only the EE dominance is statistically stable)."""
+    rows = analyze_table1(provider_dataset)
+    row1 = rows[0]
+    assert row1.delta_ee_pct > row1.delta_ew_pct > row1.delta_ww_pct
+    assert row1.delta_ee_pct - row1.delta_ww_pct > 15.0
+    for row in rows:
+        assert row.delta_ee_pct >= row.delta_ew_pct
+        assert row.delta_ee_pct >= row.delta_ww_pct
+
+
+def test_table1_row1_matches_paper_signs(provider_dataset):
+    row1 = analyze_table1(provider_dataset)[0]
+    assert row1.delta_ee_pct > 0      # paper: +27.7%
+    assert row1.delta_ww_pct < 0      # paper: -18.4%
+
+
+def test_provider_deterministic():
+    a = synthesize_provider_year(n_calls=5000, seed=42)
+    b = synthesize_provider_year(n_calls=5000, seed=42)
+    assert [c.rating for c in a.calls] == [c.rating for c in b.calls]
+
+
+def test_provider_pcr_empty_subset_nan():
+    ds = ProviderDataset()
+    assert np.isnan(ds.pcr())
+
+
+def test_rated_call_poor_definition():
+    assert RatedCall(0, "EE", True, 1).poor
+    assert RatedCall(0, "EE", True, 2).poor
+    assert not RatedCall(0, "EE", True, 3).poor
+
+
+# ------------------------------------------------------------ NetTest study
+
+@pytest.fixture(scope="module")
+def nettest_dataset():
+    return run_nettest_study(seed=0, scale=0.1)
+
+
+def test_nettest_category_sizes(nettest_dataset):
+    rows = dict((r[0], r[1]) for r in nettest_dataset.table2())
+    for category, count in CATEGORY_COUNTS.items():
+        assert rows[category] == pytest.approx(count * 0.1, abs=1)
+
+
+def test_nettest_ww_worse_than_ew(nettest_dataset):
+    assert (nettest_dataset.pcr("WW") > nettest_dataset.pcr("EW"))
+
+
+def test_nettest_relayed_much_worse(nettest_dataset):
+    """The overloaded-relay artifact: relayed PCR dwarfs direct PCR."""
+    assert nettest_dataset.pcr("EW-Relayed") > 3 * nettest_dataset.pcr("EW")
+    assert nettest_dataset.pcr("WW-Relayed") > 3 * nettest_dataset.pcr("WW")
+
+
+def test_nettest_overall_pcr_plausible(nettest_dataset):
+    # Paper: 10.23% overall.
+    assert 0.05 < nettest_dataset.pcr() < 0.20
+
+
+def test_nettest_spatial_stats(nettest_dataset):
+    frac_any, frac_20 = nettest_dataset.spatial_stats()
+    assert 0.0 < frac_any <= 1.0
+    assert frac_20 <= frac_any
+
+
+def test_nettest_deterministic():
+    a = run_nettest_study(seed=7, scale=0.02)
+    b = run_nettest_study(seed=7, scale=0.02)
+    assert [c.mos for c in a.calls] == [c.mos for c in b.calls]
+
+
+# --------------------------------------------------------------- site survey
+
+def test_survey_covers_all_locations():
+    results = run_site_survey(seed=0)
+    assert len(results) == len(SURVEY_LOCATIONS)
+
+
+def test_survey_every_location_multi_bssid():
+    """Paper: at least 2 connectable BSSIDs everywhere surveyed."""
+    for _, scan in run_site_survey(seed=0):
+        assert scan.n_bssids >= 2
+
+
+def test_survey_median_bssids_near_paper():
+    medians = []
+    for seed in range(5):
+        counts = [s.n_bssids for _, s in run_site_survey(seed=seed)]
+        medians.append(np.median(counts))
+    assert 4 <= np.mean(medians) <= 8    # paper: median 6
+
+
+def test_survey_channels_not_more_than_bssids():
+    for _, scan in run_site_survey(seed=1):
+        assert scan.n_channels <= scan.n_bssids
+
+
+def test_virtual_aps_share_channels():
+    """The in-flight venue is mostly virtual APs: more BSSIDs than
+    channels."""
+    results = dict((loc.venue_class, scan)
+                   for loc, scan in run_site_survey(seed=3))
+    inflight = results["inflight"]
+    assert inflight.n_bssids > inflight.n_channels
+
+
+def test_residential_fraction_near_30pct():
+    frac = residential_multi_bssid_fraction(seed=0, n_homes=400)
+    assert 0.15 < frac < 0.45
+
+
+def test_all_venue_classes_valid():
+    for venue in VENUE_CLASSES.values():
+        assert venue.min_aps <= venue.max_aps
+        assert 0.0 <= venue.dual_band_prob <= 1.0
+        assert 0.0 <= venue.virtual_ap_prob <= 1.0

@@ -1,0 +1,174 @@
+"""Tests for the statistics helpers and the DCF medium model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.summary import (
+    Interval,
+    bootstrap_interval,
+    improvement_factor_interval,
+    paired_difference_interval,
+    permutation_pvalue,
+)
+from repro.sim import RandomRouter, Simulator
+from repro.wifi.dcf import DcfMedium
+
+
+# ------------------------------------------------------------- statistics
+
+def test_bootstrap_interval_covers_mean():
+    rng = np.random.default_rng(0)
+    samples = rng.normal(10.0, 2.0, size=200)
+    interval = bootstrap_interval(samples)
+    assert interval.contains(10.0)
+    assert interval.low < interval.point < interval.high
+
+
+def test_bootstrap_interval_narrows_with_n():
+    rng = np.random.default_rng(1)
+    small = bootstrap_interval(rng.normal(0, 1, 20), seed=1)
+    large = bootstrap_interval(rng.normal(0, 1, 2000), seed=1)
+    assert (large.high - large.low) < (small.high - small.low)
+
+
+def test_bootstrap_validates_inputs():
+    with pytest.raises(ValueError):
+        bootstrap_interval([])
+    with pytest.raises(ValueError):
+        bootstrap_interval([1.0], confidence=1.5)
+
+
+def test_paired_difference_detects_shift():
+    rng = np.random.default_rng(2)
+    base = rng.normal(5.0, 1.0, size=100)
+    shifted = base + 0.5
+    interval = paired_difference_interval(shifted, base)
+    assert interval.low > 0.3
+    assert interval.contains(0.5)
+
+
+def test_paired_difference_length_mismatch():
+    with pytest.raises(ValueError):
+        paired_difference_interval([1.0, 2.0], [1.0])
+
+
+def test_permutation_pvalue_significant():
+    rng = np.random.default_rng(3)
+    b = rng.normal(5.0, 1.0, size=60)
+    a = b - 1.0                      # A clearly lower
+    assert permutation_pvalue(a, b) < 0.01
+
+
+def test_permutation_pvalue_null():
+    rng = np.random.default_rng(4)
+    b = rng.normal(5.0, 1.0, size=60)
+    a = b + rng.normal(0.0, 0.01, size=60)
+    assert permutation_pvalue(a, b) > 0.05
+
+
+def test_improvement_factor_matches_ratio():
+    base = [10.0] * 50
+    treat = [5.0] * 50
+    interval = improvement_factor_interval(base, treat)
+    assert interval.point == pytest.approx(2.0)
+    assert interval.contains(2.0)
+
+
+def test_interval_str():
+    s = str(Interval(1.0, 0.5, 1.5, 0.95))
+    assert "[" in s and "95%" in s
+
+
+# -------------------------------------------------------------------- DCF
+
+def medium(seed=0, **kwargs):
+    sim = Simulator()
+    return sim, DcfMedium(sim, RandomRouter(seed).stream("dcf"), **kwargs)
+
+
+def test_single_station_transmits():
+    sim, dcf = medium()
+    done = []
+    sim.call_at(0.0, dcf.request, "a", 0.001,
+                lambda ok: done.append((sim.now, ok)))
+    sim.run()
+    assert len(done) == 1
+    assert done[0][1] is True
+    assert done[0][0] >= 0.001          # at least the airtime
+
+
+def test_transmissions_serialized():
+    sim, dcf = medium()
+    finish_times = []
+    for i in range(5):
+        sim.call_at(0.0, dcf.request, f"s{i}", 0.001,
+                    lambda ok, i=i: finish_times.append(sim.now))
+    sim.run()
+    assert len(finish_times) == 5
+    gaps = np.diff(sorted(finish_times))
+    assert np.all(gaps >= 0.001 - 1e-9)   # one frame at a time
+
+
+def test_collisions_happen_and_resolve():
+    sim, dcf = medium(seed=5, cw_min=1)   # tiny CW -> many collisions
+    results = []
+    for i in range(20):
+        sim.call_at(0.0, dcf.request, f"s{i}", 0.0005,
+                    lambda ok: results.append(ok))
+    sim.run()
+    assert dcf.stats.collisions > 0
+    assert len(results) == 20
+    assert sum(results) >= 15          # most eventually get through
+
+
+def test_two_stations_share_airtime_fairly():
+    sim, dcf = medium(seed=6)
+    counts = {"a": 0, "b": 0}
+
+    def keep_sending(name):
+        def on_done(ok):
+            counts[name] += 1
+            if sim.now < 1.0:
+                dcf.request(name, 0.001, on_done)
+        return on_done
+
+    sim.call_at(0.0, dcf.request, "a", 0.001, keep_sending("a"))
+    sim.call_at(0.0, dcf.request, "b", 0.001, keep_sending("b"))
+    sim.run(until=1.2)
+    total = counts["a"] + counts["b"]
+    assert total > 500                 # the channel stayed busy
+    assert abs(counts["a"] - counts["b"]) < 0.25 * total
+
+
+def test_contender_slows_down_a_flow():
+    """Adding a greedy contender must roughly halve a flow's rate."""
+    def run(with_contender):
+        sim, dcf = medium(seed=7)
+        done = {"a": 0}
+
+        def sender(name, counter=True):
+            def on_done(ok):
+                if counter:
+                    done["a"] += 1
+                if sim.now < 0.5:
+                    dcf.request(name, 0.001, on_done)
+            return on_done
+
+        sim.call_at(0.0, dcf.request, "a", 0.001, sender("a"))
+        if with_contender:
+            sim.call_at(0.0, dcf.request, "b", 0.001,
+                        sender("b", counter=False))
+        sim.run(until=0.6)
+        return done["a"]
+
+    alone = run(False)
+    shared = run(True)
+    assert shared < 0.7 * alone
+
+
+def test_utilization_bounded():
+    sim, dcf = medium(seed=8)
+    for i in range(50):
+        sim.call_at(0.0, dcf.request, f"s{i}", 0.001, lambda ok: None)
+    sim.run()
+    assert 0.0 < dcf.utilization() <= 1.0

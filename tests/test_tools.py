@@ -1,0 +1,42 @@
+"""Tests for repository tooling (API doc generation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_api_doc_generator_runs(tmp_path):
+    output = tmp_path / "api.md"
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "gen_api_docs.py"),
+         str(output)],
+        capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+    text = output.read_text()
+    assert "# API reference" in text
+    assert "repro.core.client" in text
+    assert "0x" not in text          # no memory addresses -> diff-stable
+
+
+def test_api_doc_generator_deterministic(tmp_path):
+    out_a = tmp_path / "a.md"
+    out_b = tmp_path / "b.md"
+    for out in (out_a, out_b):
+        subprocess.run(
+            [sys.executable, str(REPO / "tools" / "gen_api_docs.py"),
+             str(out)], capture_output=True, text=True, check=True)
+    assert out_a.read_text() == out_b.read_text()
+
+
+def test_checked_in_api_doc_is_current():
+    """docs/api.md must be regenerated when the public API changes."""
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = Path(tmp) / "api.md"
+        subprocess.run(
+            [sys.executable, str(REPO / "tools" / "gen_api_docs.py"),
+             str(fresh)], capture_output=True, text=True, check=True)
+        assert (REPO / "docs" / "api.md").read_text() \
+            == fresh.read_text()

@@ -1,0 +1,182 @@
+"""Tests for traffic sources: RTP, VoIP/high-rate senders, TCP Reno."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import G711_PROFILE, StreamProfile
+from repro.sim import RandomRouter, Simulator
+from repro.traffic.highrate import HighRateSender
+from repro.traffic.rtp import (
+    HEADER_BYTES,
+    RtpHeader,
+    profile_for_payload_type,
+)
+from repro.traffic.tcp import TcpReno
+from repro.traffic.voip import VoipSender
+
+
+# --------------------------------------------------------------------- RTP
+
+def test_rtp_header_roundtrip():
+    header = RtpHeader(payload_type=0, sequence_number=12345,
+                       timestamp=99999, ssrc=0xDEADBEEF, marker=True)
+    parsed = RtpHeader.unpack(header.pack())
+    assert parsed == header
+
+
+def test_rtp_header_size():
+    assert HEADER_BYTES == 12
+    assert len(RtpHeader(0, 0, 0, 0).pack()) == 12
+
+
+def test_rtp_invalid_fields_rejected():
+    with pytest.raises(ValueError):
+        RtpHeader(payload_type=200, sequence_number=0,
+                  timestamp=0, ssrc=0).pack()
+    with pytest.raises(ValueError):
+        RtpHeader(payload_type=0, sequence_number=70000,
+                  timestamp=0, ssrc=0).pack()
+
+
+def test_rtp_unpack_validates():
+    with pytest.raises(ValueError):
+        RtpHeader.unpack(b"\x00" * 5)
+    bad_version = b"\x00" + b"\x00" * 11
+    with pytest.raises(ValueError):
+        RtpHeader.unpack(bad_version)
+
+
+def test_profile_lookup_g711():
+    profile = profile_for_payload_type(0)
+    assert profile.packet_size_bytes == 160
+    assert profile.inter_packet_spacing_s == pytest.approx(0.020)
+
+
+def test_profile_lookup_unknown_raises():
+    with pytest.raises(KeyError):
+        profile_for_payload_type(96)   # dynamic payload type
+
+
+# ------------------------------------------------------------ VoIP sender
+
+def test_voip_sender_emits_full_stream():
+    sim = Simulator()
+    profile = StreamProfile(duration_s=1.0)   # 50 packets
+    got = []
+    sender = VoipSender(sim, profile)
+    sender.attach(lambda p: got.append((p.seq, sim.now)))
+    sender.start()
+    sim.run()
+    assert len(got) == 50
+    assert got[0] == (0, 0.0)
+    assert got[-1][0] == 49
+    assert got[-1][1] == pytest.approx(49 * 0.020)
+
+
+def test_voip_sender_replicates_to_all_sinks():
+    sim = Simulator()
+    profile = StreamProfile(duration_s=0.1)
+    a, b = [], []
+    sender = VoipSender(sim, profile)
+    sender.attach(a.append, link="primary")
+    sender.attach(b.append, link="secondary")
+    sender.start()
+    sim.run()
+    assert len(a) == len(b) == profile.n_packets
+    assert not a[0].is_duplicate
+    assert b[0].is_duplicate
+    assert b[0].link == "secondary"
+
+
+def test_voip_sender_without_sinks_raises():
+    sim = Simulator()
+    with pytest.raises(RuntimeError):
+        VoipSender(sim, G711_PROFILE).start()
+
+
+def test_highrate_sender_rejects_low_rate_profile():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        HighRateSender(sim, profile=G711_PROFILE)
+
+
+def test_highrate_sender_spacing():
+    sim = Simulator()
+    got = []
+    profile = StreamProfile(name="hr", packet_size_bytes=1000,
+                            inter_packet_spacing_s=0.0016, duration_s=0.016)
+    sender = HighRateSender(sim, profile)
+    sender.attach(lambda p: got.append(sim.now))
+    sender.start()
+    sim.run()
+    assert len(got) == 10
+    assert got[1] - got[0] == pytest.approx(0.0016)
+
+
+# --------------------------------------------------------------- TCP Reno
+
+def run_tcp(duration=20.0, capacity=4.6e6, radio=lambda: True,
+            loss=0.002, seed=0):
+    sim = Simulator()
+    tcp = TcpReno(sim, RandomRouter(seed).stream("tcp"),
+                  capacity_bps=capacity, duration_s=duration,
+                  radio_present=radio, wireless_loss_prob=loss)
+    tcp.start()
+    sim.run(until=duration + 1.0)
+    return tcp
+
+
+def test_tcp_approaches_capacity():
+    tcp = run_tcp(duration=30.0, loss=0.0)
+    assert tcp.stats.throughput_mbps > 3.5   # of 4.6 Mbps capacity
+
+
+def test_tcp_cannot_exceed_capacity():
+    tcp = run_tcp(duration=20.0, loss=0.0)
+    assert tcp.stats.throughput_bps <= 4.6e6 * 1.02
+
+
+def test_tcp_loss_reduces_throughput():
+    clean = run_tcp(duration=20.0, loss=0.0, seed=1)
+    lossy = run_tcp(duration=20.0, loss=0.02, seed=1)
+    assert lossy.stats.throughput_bps < clean.stats.throughput_bps
+    assert lossy.stats.retransmits > 0
+
+
+def test_tcp_radio_absence_costs_throughput():
+    """A radio absent 20% of the time must cost roughly that much."""
+    sim_time = {"now": 0.0}
+
+    clean = run_tcp(duration=30.0, loss=0.0, seed=2)
+
+    sim = Simulator()
+    # absent during [t, t+0.2) of every second
+    tcp = TcpReno(sim, RandomRouter(2).stream("tcp"),
+                  duration_s=30.0, wireless_loss_prob=0.0,
+                  radio_present=lambda: (sim.now % 1.0) >= 0.2)
+    tcp.start()
+    sim.run(until=31.0)
+    ratio = tcp.stats.throughput_bps / clean.stats.throughput_bps
+    assert 0.6 < ratio < 0.95
+
+
+def test_tcp_slow_start_grows_window():
+    sim = Simulator()
+    tcp = TcpReno(sim, RandomRouter(3).stream("tcp"), duration_s=2.0,
+                  wireless_loss_prob=0.0)
+    tcp.start()
+    sim.run(until=3.0)
+    assert tcp.cwnd_segments > 2.0
+
+
+def test_tcp_double_start_rejected():
+    sim = Simulator()
+    tcp = TcpReno(sim, RandomRouter(4).stream("tcp"))
+    tcp.start()
+    with pytest.raises(RuntimeError):
+        tcp.start()
+
+
+def test_tcp_stats_throughput_zero_without_duration():
+    from repro.traffic.tcp import TcpStats
+    assert TcpStats(duration_s=0.0).throughput_bps == 0.0

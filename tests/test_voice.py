@@ -1,0 +1,222 @@
+"""Tests for the voice-quality pipeline: codec, playout, concealment,
+E-model, and PCR."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.packet import LinkTrace, StreamTrace
+from repro.voice.concealment import account_concealment
+from repro.voice.g711 import (
+    BYTES_PER_FRAME,
+    G711Codec,
+    G711Frame,
+    SAMPLES_PER_FRAME,
+)
+from repro.voice.pcr import POOR_MOS_THRESHOLD, poor_call_rate, score_call
+from repro.voice.playout import PlayoutBuffer
+from repro.voice.quality import (
+    burst_ratio,
+    delay_impairment,
+    emodel_r_factor,
+    loss_impairment,
+    r_to_mos,
+)
+
+
+def trace_from_losses(losses, spacing=0.02, delay=0.01):
+    delivered = [not bool(x) for x in losses]
+    delays = [delay if d else math.nan for d in delivered]
+    return LinkTrace("t", np.arange(len(losses)) * spacing,
+                     delivered, delays)
+
+
+# -------------------------------------------------------------------- G711
+
+def test_g711_frame_constants():
+    assert SAMPLES_PER_FRAME == 160
+    assert BYTES_PER_FRAME == 160
+
+
+def test_g711_encode_decode_roundtrip_small_error():
+    rng = np.random.default_rng(0)
+    pcm = (rng.normal(0, 3000, SAMPLES_PER_FRAME)).astype(np.int16)
+    decoded = G711Codec.decode(G711Codec.encode(pcm))
+    # Mu-law SNR on speech-level signals is ~35 dB; loose bound here.
+    error = np.abs(decoded.astype(float) - pcm.astype(float))
+    assert np.mean(error) < 200
+
+
+def test_g711_encode_wrong_length_raises():
+    with pytest.raises(ValueError):
+        G711Codec.encode(np.zeros(100, dtype=np.int16))
+
+
+def test_g711_silence_roundtrip_exact():
+    pcm = np.zeros(SAMPLES_PER_FRAME, dtype=np.int16)
+    decoded = G711Codec.decode(G711Codec.encode(pcm))
+    assert np.all(np.abs(decoded.astype(int)) <= 130)
+
+
+def test_g711_frame_validates_size():
+    with pytest.raises(ValueError):
+        G711Frame(0, b"short")
+
+
+def test_encode_stream_packetizes():
+    pcm = np.zeros(SAMPLES_PER_FRAME * 3 + 10, dtype=np.int16)
+    frames = G711Codec.encode_stream(pcm)
+    assert len(frames) == 3
+    assert [f.seq for f in frames] == [0, 1, 2]
+
+
+# ------------------------------------------------------------------ playout
+
+def test_playout_on_time_frames_played():
+    trace = trace_from_losses([0, 0, 0], delay=0.01)
+    result = PlayoutBuffer(0.100).replay(trace)
+    assert result.played.all()
+    assert result.effective_loss_rate == 0.0
+
+
+def test_playout_late_frame_counts_lost():
+    trace = trace_from_losses([0, 0], delay=0.150)
+    result = PlayoutBuffer(0.100).replay(trace)
+    assert not result.played.any()
+    assert result.late_losses == 2
+    assert result.network_losses == 0
+
+
+def test_playout_network_losses_counted():
+    trace = trace_from_losses([1, 0, 1])
+    result = PlayoutBuffer(0.100).replay(trace)
+    assert result.network_losses == 2
+    assert result.effective_loss_rate == pytest.approx(2 / 3)
+
+
+def test_playout_delay_must_be_positive():
+    with pytest.raises(ValueError):
+        PlayoutBuffer(0.0)
+
+
+# -------------------------------------------------------------- concealment
+
+def concealment_of(losses):
+    trace = trace_from_losses(losses)
+    return account_concealment(PlayoutBuffer(0.1).replay(trace))
+
+
+def test_isolated_loss_is_interpolated():
+    acc = concealment_of([0, 1, 0, 0])
+    assert acc.interpolated_frames == 1
+    assert acc.extrapolated_frames == 0
+
+
+def test_burst_losses_extrapolated():
+    acc = concealment_of([0, 1, 1, 1, 0])
+    assert acc.interpolated_frames == 0
+    assert acc.extrapolated_frames == 3
+
+
+def test_leading_loss_extrapolated():
+    acc = concealment_of([1, 0, 0])
+    assert acc.extrapolated_frames == 1
+
+
+def test_trailing_loss_extrapolated():
+    acc = concealment_of([0, 0, 1])
+    assert acc.extrapolated_frames == 1
+
+
+def test_concealment_fractions():
+    acc = concealment_of([0, 1, 0, 1, 1, 0, 0, 0, 0, 0])
+    assert acc.interpolated_frames == 1
+    assert acc.extrapolated_frames == 2
+    assert acc.concealment_fraction == pytest.approx(0.3)
+    assert acc.extrapolation_fraction == pytest.approx(0.2)
+    assert acc.interpolated_samples == 160
+    assert acc.extrapolated_samples == 320
+
+
+# ------------------------------------------------------------------ E-model
+
+def test_r_decreases_with_loss():
+    r_clean = emodel_r_factor(0.0, 0.05)
+    r_lossy = emodel_r_factor(0.05, 0.05)
+    assert r_lossy < r_clean
+
+
+def test_r_decreases_with_delay():
+    assert emodel_r_factor(0.0, 0.400) < emodel_r_factor(0.0, 0.050)
+
+
+def test_bursty_loss_hurts_more():
+    random_loss = emodel_r_factor(0.02, 0.05, mean_burst_len=1.0)
+    bursty_loss = emodel_r_factor(0.02, 0.05, mean_burst_len=4.0)
+    assert bursty_loss < random_loss
+
+
+def test_burst_ratio_floor_is_one():
+    assert burst_ratio(0.02, 0.5) == 1.0
+    assert burst_ratio(0.02, 4.0) > 1.0
+
+
+def test_loss_impairment_zero_at_no_loss():
+    assert loss_impairment(0.0) == 0.0
+
+
+def test_delay_impairment_grows():
+    assert delay_impairment(0.050) < delay_impairment(0.300)
+
+
+def test_mos_range_and_monotone():
+    values = [r_to_mos(r) for r in (0, 20, 50, 70, 90, 100)]
+    assert values[0] == 1.0 and values[-1] == 4.5
+    assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+# --------------------------------------------------------------------- PCR
+
+def test_clean_call_not_poor():
+    trace = trace_from_losses([0] * 6000)
+    score = score_call(trace)
+    assert score.mos > 4.0
+    assert not score.is_poor(POOR_MOS_THRESHOLD)
+
+
+def test_heavily_lossy_call_poor():
+    rng = np.random.default_rng(1)
+    losses = (rng.random(6000) < 0.15).astype(int)
+    score = score_call(trace_from_losses(losses))
+    assert score.is_poor(POOR_MOS_THRESHOLD)
+
+
+def test_pcr_mixed_population():
+    clean = trace_from_losses([0] * 6000)
+    rng = np.random.default_rng(2)
+    bad = trace_from_losses((rng.random(6000) < 0.2).astype(int))
+    assert poor_call_rate([clean, clean, clean, bad]) == pytest.approx(0.25)
+
+
+def test_pcr_empty_raises():
+    with pytest.raises(ValueError):
+        poor_call_rate([])
+
+
+def test_score_accepts_stream_trace():
+    n = 1000
+    st = StreamTrace(n_packets=n, send_times=np.arange(n) * 0.02)
+    for seq in range(n):
+        st.record_arrival(seq, seq * 0.02 + 0.01)
+    score = score_call(st)
+    assert score.loss_fraction == 0.0
+
+
+def test_worst_window_pulls_score_down():
+    clean = trace_from_losses([0] * 6000)
+    one_bad_window = [0] * 6000
+    for i in range(3000, 3250):   # one solid 5-s outage
+        one_bad_window[i] = 1
+    bad = trace_from_losses(one_bad_window)
+    assert score_call(bad).mos < score_call(clean).mos

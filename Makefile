@@ -2,13 +2,30 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples docs clean
+.PHONY: install test lint lint-baseline sanitize-test bench bench-full \
+	examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Determinism lint suite (tools/reprolint).  Fails on any finding not in
+# .reprolint-baseline.json; see CONTRIBUTING.md for the rule table and
+# suppression syntax.
+lint:
+	PYTHONPATH=tools $(PYTHON) -m reprolint src/
+
+# Refreeze the baseline (only for genuinely unfixable legacy findings).
+lint-baseline:
+	PYTHONPATH=tools $(PYTHON) -m reprolint src/ --write-baseline
+
+# Run the simulator test files with the runtime invariant sanitizer on:
+# heap-order assertions, stream-ownership checks, determinism digests.
+sanitize-test:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/test_sim_engine.py \
+		tests/test_sim_random.py tests/test_client_controller.py -q
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -13,9 +13,25 @@ lean on informally:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
+
+from repro.sim.random import RandomRouter
+
+
+def _resampling_rng(rng: Optional[np.random.Generator], seed: int,
+                    stream: str) -> np.random.Generator:
+    """The generator used for resampling draws.
+
+    Callers may inject their own ``rng`` (typically a
+    ``RandomRouter.stream(...)``); otherwise one is derived from ``seed``
+    through a router so the draws live on a named stream like every other
+    stochastic component, rather than a raw ``np.random.default_rng``.
+    """
+    if rng is not None:
+        return rng
+    return RandomRouter(seed).stream(stream)
 
 
 @dataclass(frozen=True)
@@ -40,14 +56,15 @@ def bootstrap_interval(samples: Sequence[float],
                        statistic: Callable[[np.ndarray], float] = np.mean,
                        confidence: float = 0.95,
                        n_resamples: int = 2000,
-                       seed: int = 0) -> Interval:
+                       seed: int = 0,
+                       rng: Optional[np.random.Generator] = None) -> Interval:
     """Percentile-bootstrap CI for ``statistic`` of ``samples``."""
     data = np.asarray(list(samples), dtype=float)
     if data.size == 0:
         raise ValueError("no samples")
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must lie in (0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = _resampling_rng(rng, seed, "analysis.bootstrap")
     stats = np.empty(n_resamples)
     for i in range(n_resamples):
         resample = data[rng.integers(0, data.size, size=data.size)]
@@ -62,19 +79,22 @@ def bootstrap_interval(samples: Sequence[float],
 def paired_difference_interval(a: Sequence[float], b: Sequence[float],
                                confidence: float = 0.95,
                                n_resamples: int = 2000,
-                               seed: int = 0) -> Interval:
+                               seed: int = 0,
+                               rng: Optional[np.random.Generator] = None
+                               ) -> Interval:
     """Bootstrap CI for mean(a - b) over paired per-run metrics."""
     a = np.asarray(list(a), dtype=float)
     b = np.asarray(list(b), dtype=float)
     if a.shape != b.shape:
         raise ValueError("paired samples must have equal length")
     return bootstrap_interval(a - b, confidence=confidence,
-                              n_resamples=n_resamples, seed=seed)
+                              n_resamples=n_resamples, seed=seed, rng=rng)
 
 
 def permutation_pvalue(a: Sequence[float], b: Sequence[float],
                        n_permutations: int = 5000,
-                       seed: int = 0) -> float:
+                       seed: int = 0,
+                       rng: Optional[np.random.Generator] = None) -> float:
     """One-sided paired sign-flip test for mean(a) < mean(b).
 
     Returns the probability, under random sign flips of the paired
@@ -87,7 +107,7 @@ def permutation_pvalue(a: Sequence[float], b: Sequence[float],
         raise ValueError("paired samples must have equal length")
     diffs = a - b
     observed = diffs.mean()
-    rng = np.random.default_rng(seed)
+    rng = _resampling_rng(rng, seed, "analysis.permutation")
     count = 0
     for _ in range(n_permutations):
         signs = rng.choice((-1.0, 1.0), size=diffs.size)
@@ -100,14 +120,16 @@ def improvement_factor_interval(baseline: Sequence[float],
                                 treatment: Sequence[float],
                                 confidence: float = 0.95,
                                 n_resamples: int = 2000,
-                                seed: int = 0) -> Interval:
+                                seed: int = 0,
+                                rng: Optional[np.random.Generator] = None
+                                ) -> Interval:
     """Bootstrap CI for mean(baseline)/mean(treatment) — the "2.24x"
     style headline numbers (PCR cut factors)."""
     base = np.asarray(list(baseline), dtype=float)
     treat = np.asarray(list(treatment), dtype=float)
     if base.size == 0 or treat.size == 0:
         raise ValueError("no samples")
-    rng = np.random.default_rng(seed)
+    rng = _resampling_rng(rng, seed, "analysis.improvement")
     ratios = []
     for _ in range(n_resamples):
         rb = base[rng.integers(0, base.size, size=base.size)]

@@ -56,6 +56,9 @@ class SessionResult:
     off_channel_time_s: float = 0.0
     #: stats of the competing TCP flow on DEF, when one was run
     tcp_stats: Optional[object] = None
+    #: sanitizer fingerprint of the executed event sequence; set only when
+    #: the session ran with ``REPRO_SANITIZE=1`` (see repro.sim.sanitize)
+    determinism_digest: Optional[str] = None
 
     def effective_trace(self, deadline: float = 0.100) -> LinkTrace:
         """Receiver trace with the MaxTolerableDelay accounting."""
@@ -206,7 +209,8 @@ def run_session(link_factory: Callable[[RandomRouter], Tuple],
         middlebox=middlebox,
         switch_count=manager.switch_count,
         off_channel_time_s=manager.off_channel_time_s,
-        tcp_stats=tcp.stats if tcp is not None else None)
+        tcp_stats=tcp.stats if tcp is not None else None,
+        determinism_digest=sim.determinism_digest())
 
 
 def _lan_into(sim: Simulator, router: RandomRouter, target, name: str,

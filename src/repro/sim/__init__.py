@@ -18,13 +18,25 @@ Public API::
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.process import Process, Timeout, WaitEvent
 from repro.sim.random import RandomRouter
+from repro.sim.sanitize import (
+    DeterminismDigest,
+    HeapOrderError,
+    SanitizerError,
+    StreamSharingError,
+    sanitizer_enabled,
+)
 
 __all__ = [
+    "DeterminismDigest",
     "Event",
+    "HeapOrderError",
     "Process",
     "RandomRouter",
+    "SanitizerError",
     "SimulationError",
     "Simulator",
+    "StreamSharingError",
     "Timeout",
     "WaitEvent",
+    "sanitizer_enabled",
 ]

@@ -8,6 +8,10 @@ evaluation relies on for paired strategy comparisons.
 
 Times are floats in **seconds**.  The engine enforces causality: an event may
 never be scheduled in the past.
+
+With ``REPRO_SANITIZE=1`` in the environment the engine additionally
+asserts heap order on every pop and maintains a determinism digest of the
+executed event sequence (see :mod:`repro.sim.sanitize`).
 """
 
 from __future__ import annotations
@@ -15,6 +19,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.sanitize import (
+    DeterminismDigest,
+    HeapOrderError,
+    sanitizer_enabled,
+)
 
 
 class SimulationError(RuntimeError):
@@ -69,6 +79,25 @@ class Simulator:
         self._stopped = False
         #: number of events executed so far (observability / tests)
         self.events_executed = 0
+        # Sanitizer state is resolved once at construction so the hot loop
+        # pays a single attribute check when disabled.
+        self._sanitize = sanitizer_enabled()
+        self._digest: Optional[DeterminismDigest] = \
+            DeterminismDigest() if self._sanitize else None
+
+    @property
+    def sanitizing(self) -> bool:
+        """True when this simulator was built with ``REPRO_SANITIZE=1``."""
+        return self._sanitize
+
+    def determinism_digest(self) -> Optional[str]:
+        """Digest of the event sequence executed so far.
+
+        Two runs of the same scenario and seed must return the same
+        string; a mismatch means nondeterminism leaked in.  ``None``
+        unless the sanitizer is enabled.
+        """
+        return self._digest.hexdigest() if self._digest else None
 
     @property
     def now(self) -> float:
@@ -108,6 +137,14 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            if self._sanitize:
+                if event.time < self._now - 1e-12:
+                    raise HeapOrderError(
+                        f"event queue yielded t={event.time:.9f} after the "
+                        f"clock reached t={self._now:.9f}; an Event.time "
+                        "was mutated after scheduling or the heap was "
+                        "corrupted")
+                self._digest.update(event.time, event.seq, event.callback)
             self._now = event.time
             event.callback(*event.args)
             self.events_executed += 1

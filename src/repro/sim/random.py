@@ -13,18 +13,31 @@ seed with the stream name through ``numpy.random.SeedSequence``.
 
 from __future__ import annotations
 
+import sys
 import zlib
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.sim.sanitize import StreamOwnerRegistry, sanitizer_enabled
+
 
 class RandomRouter:
-    """Factory and cache of named ``numpy.random.Generator`` streams."""
+    """Factory and cache of named ``numpy.random.Generator`` streams.
+
+    With ``REPRO_SANITIZE=1`` the router also records which call site
+    first requested each stream name and raises
+    :class:`repro.sim.sanitize.StreamSharingError` when a different call
+    site requests the same name — two components sharing one generator
+    breaks stream isolation silently, which is far worse than failing
+    loudly.
+    """
 
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._owners: Optional[StreamOwnerRegistry] = \
+            StreamOwnerRegistry() if sanitizer_enabled() else None
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
@@ -32,6 +45,10 @@ class RandomRouter:
         The same (seed, name) pair always yields the same sequence, and the
         generator object is cached so repeated calls continue the sequence.
         """
+        if self._owners is not None:
+            caller = sys._getframe(1)
+            self._owners.claim(
+                name, (caller.f_code.co_filename, caller.f_lineno))
         generator = self._streams.get(name)
         if generator is None:
             # Stable across processes/platforms: derive a child key from a

@@ -181,3 +181,35 @@ def test_sessions_reproducible_by_seed():
     b = run(mode="diversifi-ap", primary=outage_gilbert(), seed=31)
     assert a.stream.arrivals == b.stream.arrivals
     assert a.wasteful_duplicates == b.wasteful_duplicates
+
+
+def test_digest_absent_without_sanitizer(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    result = run(mode="diversifi-ap", seed=31)
+    assert result.determinism_digest is None
+
+
+def test_sanitized_sessions_same_seed_same_digest(monkeypatch):
+    """The sanitizer acceptance criterion: a full DiversiFi session's
+    event sequence is bit-for-bit reproducible from (scenario, seed)."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    a = run(mode="diversifi-ap", primary=outage_gilbert(), seed=31)
+    b = run(mode="diversifi-ap", primary=outage_gilbert(), seed=31)
+    assert a.determinism_digest is not None
+    assert a.determinism_digest == b.determinism_digest
+
+
+def test_sanitized_sessions_cross_seed_differ(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    a = run(mode="diversifi-ap", primary=outage_gilbert(), seed=31)
+    b = run(mode="diversifi-ap", primary=outage_gilbert(), seed=32)
+    assert a.determinism_digest != b.determinism_digest
+
+
+def test_sanitized_session_matches_unsanitized_behaviour(monkeypatch):
+    """The sanitizer must observe, never perturb."""
+    plain = run(mode="diversifi-ap", primary=outage_gilbert(), seed=31)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sanitized = run(mode="diversifi-ap", primary=outage_gilbert(), seed=31)
+    assert plain.stream.arrivals == sanitized.stream.arrivals
+    assert plain.switch_count == sanitized.switch_count

@@ -1,0 +1,440 @@
+"""Tests for the determinism lint suite (``tools/reprolint``).
+
+Every rule gets at least one triggering fixture and one suppressed
+fixture, plus integration tests that run the real CLI over ``src/repro``
+(must be clean) and over synthetic violations (must fail).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from reprolint.baseline import (          # noqa: E402
+    filter_new, load_baseline, write_baseline)
+from reprolint.engine import lint_paths, lint_source   # noqa: E402
+from reprolint.rules import ALL_RULES     # noqa: E402
+
+
+def lint(source, path="pkg/module.py", rules=None):
+    return lint_source(textwrap.dedent(source), path, rules=rules)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# ------------------------------------------------------------------
+# Per-rule fixtures: (rule, triggering source, suppressed source).
+# The suppressed variant is the same code with an inline disable.
+# ------------------------------------------------------------------
+
+FIXTURES = {
+    "DET001": (
+        """
+        import numpy as np
+        rng = np.random.default_rng(0)
+        """,
+        """
+        import numpy as np
+        rng = np.random.default_rng(0)  # reprolint: disable=DET001
+        """,
+    ),
+    "DET002": (
+        """
+        import time
+        def elapsed():
+            return time.time()
+        """,
+        """
+        import time
+        def elapsed():
+            return time.time()  # reprolint: disable=DET002
+        """,
+    ),
+    "DET003": (
+        """
+        def arm(sim, links):
+            for link in set(links):
+                sim.call_in(0.1, link.poll)
+        """,
+        """
+        def arm(sim, links):
+            for link in set(links):  # reprolint: disable=DET003
+                sim.call_in(0.1, link.poll)
+        """,
+    ),
+    "GEN101": (
+        """
+        def collect(items=[]):
+            return items
+        """,
+        """
+        def collect(items=[]):  # reprolint: disable=GEN101
+            return items
+        """,
+    ),
+    "GEN102": (
+        """
+        def guarded(fn):
+            try:
+                fn()
+            except Exception:
+                pass
+        """,
+        """
+        def guarded(fn):
+            try:
+                fn()
+            except Exception:  # reprolint: disable=GEN102
+                pass
+        """,
+    ),
+    "GEN103": (
+        """
+        def due(event, sim):
+            return event.time == sim.now
+        """,
+        """
+        def due(event, sim):
+            return event.time == sim.now  # reprolint: disable=GEN103
+        """,
+    ),
+    "GEN104": (
+        """
+        class RetryEvent:
+            def __init__(self, when):
+                self.when = when
+        """,
+        """
+        class RetryEvent:  # reprolint: disable=GEN104
+            def __init__(self, when):
+                self.when = when
+        """,
+    ),
+    "GEN105": (
+        """
+        def build(router):
+            a = router.stream("jitter")
+            b = router.stream("jitter")
+            return a, b
+        """,
+        """
+        def build(router):
+            a = router.stream("jitter")
+            b = router.stream("jitter")  # reprolint: disable=GEN105
+            return a, b
+        """,
+    ),
+}
+
+
+@pytest.mark.parametrize("rule", sorted(ALL_RULES))
+def test_every_rule_has_fixture(rule):
+    assert rule in FIXTURES
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_rule_triggers(rule):
+    findings = lint(FIXTURES[rule][0])
+    assert rule in rule_ids(findings), \
+        f"{rule} did not fire on its fixture"
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_rule_suppressed_inline(rule):
+    findings = lint(FIXTURES[rule][1])
+    assert rule not in rule_ids(findings), \
+        f"{rule} fired despite inline disable"
+
+
+def test_disable_all_suppresses_everything():
+    findings = lint("""
+        import numpy as np
+        rng = np.random.default_rng(0)  # reprolint: disable=all
+        """)
+    assert findings == []
+
+
+def test_disable_list_is_rule_specific():
+    # Disabling an unrelated rule must not silence the real one.
+    findings = lint("""
+        import numpy as np
+        rng = np.random.default_rng(0)  # reprolint: disable=DET002
+        """)
+    assert rule_ids(findings) == ["DET001"]
+
+
+# ------------------------------------------------------------ DET001
+
+def test_det001_stdlib_random():
+    findings = lint("""
+        import random
+        x = random.randint(0, 5)
+        """)
+    assert rule_ids(findings) == ["DET001"]
+
+
+def test_det001_bare_default_rng_import():
+    findings = lint("""
+        from numpy.random import default_rng
+        g = default_rng(3)
+        """)
+    assert rule_ids(findings) == ["DET001"]
+
+
+def test_det001_exempts_stream_factory():
+    findings = lint("""
+        import numpy as np
+        g = np.random.default_rng(np.random.SeedSequence(1))
+        """, path="src/repro/sim/random.py")
+    assert findings == []
+
+
+def test_det001_ignores_annotations_and_injected_rng():
+    findings = lint("""
+        import numpy as np
+        def sample(rng: np.random.Generator) -> float:
+            return float(rng.random())
+        """)
+    assert findings == []
+
+
+# ------------------------------------------------------------ DET002
+
+def test_det002_datetime_now():
+    findings = lint("""
+        from datetime import datetime
+        stamp = datetime.now()
+        """)
+    assert rule_ids(findings) == ["DET002"]
+
+
+def test_det002_os_urandom_and_sleep():
+    findings = lint("""
+        import os
+        import time
+        token = os.urandom(8)
+        time.sleep(0.1)
+        """)
+    assert rule_ids(findings) == ["DET002", "DET002"]
+
+
+def test_det002_perf_counter_is_flagged():
+    # Monotonic clocks are wall-clock too: the cli.py use needs an
+    # explicit suppression, which is the point.
+    findings = lint("""
+        import time
+        t0 = time.perf_counter()
+        """)
+    assert rule_ids(findings) == ["DET002"]
+
+
+# ------------------------------------------------------------ DET003
+
+def test_det003_only_fires_in_scheduling_functions():
+    findings = lint("""
+        def harmless(items):
+            return [x for x in set(items)]
+        """)
+    assert findings == []
+
+
+def test_det003_comprehension_in_scheduler():
+    findings = lint("""
+        def arm(sim, links):
+            delays = [l.delay for l in set(links)]
+            sim.call_in(min(delays), tick)
+        """)
+    assert rule_ids(findings) == ["DET003"]
+
+
+# ------------------------------------------------------------ GEN10x
+
+def test_gen101_kwonly_defaults():
+    findings = lint("""
+        def f(*, cache={}):
+            return cache
+        """)
+    assert rule_ids(findings) == ["GEN101"]
+
+
+def test_gen102_bare_except():
+    findings = lint("""
+        try:
+            risky()
+        except:
+            pass
+        """)
+    assert rule_ids(findings) == ["GEN102"]
+
+
+def test_gen102_specific_except_ok():
+    findings = lint("""
+        try:
+            risky()
+        except ValueError:
+            pass
+        """)
+    assert findings == []
+
+
+def test_gen103_tolerance_compare_ok():
+    findings = lint("""
+        def due(event, sim):
+            return abs(event.time - sim.now) < 1e-9
+        """)
+    assert findings == []
+
+
+def test_gen104_slots_and_dataclass_ok():
+    findings = lint("""
+        from dataclasses import dataclass
+
+        class AckEvent:
+            __slots__ = ("when",)
+            def __init__(self, when):
+                self.when = when
+
+        @dataclass(frozen=True)
+        class LogEvent:
+            when: float
+        """)
+    assert findings == []
+
+
+def test_gen105_distinct_names_ok():
+    findings = lint("""
+        def build(router):
+            return router.stream("a.loss"), router.stream("a.delay")
+        """)
+    assert findings == []
+
+
+# ------------------------------------------------------------ baseline
+
+def test_baseline_roundtrip_suppresses_known_findings(tmp_path):
+    src = tmp_path / "legacy.py"
+    src.write_text(textwrap.dedent("""
+        import numpy as np
+        rng = np.random.default_rng(0)
+        """))
+    findings = lint_paths([str(src)])
+    assert rule_ids(findings) == ["DET001"]
+    baseline = tmp_path / "baseline.json"
+    write_baseline(str(baseline), findings)
+    assert filter_new(findings, load_baseline(str(baseline))) == []
+
+
+def test_baseline_survives_line_shifts_but_not_edits(tmp_path):
+    src = tmp_path / "legacy.py"
+    src.write_text("import numpy as np\nrng = np.random.default_rng(0)\n")
+    baseline = tmp_path / "baseline.json"
+    write_baseline(str(baseline), lint_paths([str(src)]))
+    # Pushing the violation down the file keeps it baselined...
+    src.write_text("import numpy as np\n\n\n"
+                   "rng = np.random.default_rng(0)\n")
+    shifted = filter_new(lint_paths([str(src)]),
+                         load_baseline(str(baseline)))
+    assert shifted == []
+    # ...but a second occurrence is new.
+    src.write_text("import numpy as np\n"
+                   "rng = np.random.default_rng(0)\n"
+                   "rng2 = np.random.default_rng(1)\n")
+    fresh = filter_new(lint_paths([str(src)]),
+                       load_baseline(str(baseline)))
+    assert rule_ids(fresh) == ["DET001"]
+
+
+def test_baseline_file_is_valid_and_empty():
+    """The checked-in baseline must stay empty: fix violations, don't
+    freeze them (the file exists to demonstrate the workflow and to
+    absorb emergencies)."""
+    payload = json.loads(
+        (REPO / ".reprolint-baseline.json").read_text())
+    assert payload["findings"] == []
+
+
+# ------------------------------------------------------------ CLI
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "tools"), env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    return subprocess.run(
+        [sys.executable, "-m", "reprolint", *args],
+        capture_output=True, text=True, cwd=cwd or str(REPO), env=env)
+
+
+def test_cli_clean_on_repo_source_tree():
+    """`python -m reprolint src/` over the real tree: zero non-baselined
+    findings (the acceptance criterion for this whole subsystem)."""
+    result = run_cli("src/")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 new finding(s)" in result.stdout
+
+
+def test_cli_fails_on_synthetic_det001(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nr = np.random.default_rng(1)\n")
+    result = run_cli(str(bad), "--no-baseline")
+    assert result.returncode == 1
+    assert "DET001" in result.stdout
+
+
+def test_cli_fails_on_synthetic_det002(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    result = run_cli(str(bad), "--no-baseline")
+    assert result.returncode == 1
+    assert "DET002" in result.stdout
+
+
+def test_cli_select_restricts_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    result = run_cli(str(bad), "--select", "DET001", "--no-baseline")
+    assert result.returncode == 0
+
+
+def test_cli_write_baseline_then_clean(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nr = np.random.default_rng(1)\n")
+    baseline = tmp_path / "bl.json"
+    first = run_cli(str(bad), "--baseline", str(baseline),
+                    "--write-baseline")
+    assert first.returncode == 0
+    second = run_cli(str(bad), "--baseline", str(baseline))
+    assert second.returncode == 0, second.stdout
+
+
+def test_cli_list_rules_mentions_every_rule():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule in ALL_RULES:
+        assert rule in result.stdout
+
+
+def test_cli_unknown_rule_is_usage_error():
+    result = run_cli("src/", "--select", "NOPE999")
+    assert result.returncode == 2
+
+
+def test_cli_missing_path_is_usage_error():
+    result = run_cli("no/such/dir")
+    assert result.returncode == 2
+
+
+def test_syntax_error_reported_as_parse_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    result = run_cli(str(bad), "--no-baseline")
+    assert result.returncode == 1
+    assert "PARSE" in result.stdout

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Simulator, SimulationError
+from repro.sim import HeapOrderError, RandomRouter, SimulationError, Simulator
 
 
 def test_clock_starts_at_zero():
@@ -183,3 +183,81 @@ def test_reentrant_run_raises():
     sim.call_at(1.0, nested)
     sim.run()
     assert len(errors) == 1
+
+
+# ---------------------------------------------------- sanitizer (REPRO_SANITIZE)
+
+def _stochastic_run(seed):
+    """A small run whose event sequence depends on the seed."""
+    sim = Simulator()
+    rng = RandomRouter(seed).stream("engine-test.jitter")
+
+    def tick(n):
+        if n > 0:
+            sim.call_in(0.001 + float(rng.random()) * 0.01, tick, n - 1)
+
+    sim.call_at(0.0, tick, 50)
+    sim.run()
+    return sim
+
+
+def test_digest_is_none_without_sanitizer(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    sim = _stochastic_run(seed=0)
+    assert sim.sanitizing is False
+    assert sim.determinism_digest() is None
+
+
+def test_same_seed_runs_produce_identical_digests(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    a = _stochastic_run(seed=7)
+    b = _stochastic_run(seed=7)
+    assert a.sanitizing and b.sanitizing
+    assert a.determinism_digest() is not None
+    assert a.determinism_digest() == b.determinism_digest()
+
+
+def test_cross_seed_runs_produce_different_digests(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    a = _stochastic_run(seed=7)
+    b = _stochastic_run(seed=8)
+    assert a.determinism_digest() != b.determinism_digest()
+
+
+def test_digest_counts_executed_events(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sim = _stochastic_run(seed=1)
+    digest = sim.determinism_digest()
+    assert digest.endswith(f"#{sim.events_executed}")
+
+
+def test_scheduling_in_past_still_raises_with_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(9.0, lambda: None)
+
+
+def test_mutated_event_time_caught_by_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sim = Simulator()
+    sim.call_at(5.0, lambda: None)
+    rogue = sim.call_at(10.0, lambda: None)
+    # Corrupting a scheduled event's time violates heap order; the
+    # sanitizer catches it at pop time instead of silently time-travelling.
+    rogue.time = 1.0
+    with pytest.raises(HeapOrderError):
+        sim.run()
+
+
+def test_mutated_event_time_unnoticed_without_sanitizer(monkeypatch):
+    """Documents the hazard the sanitizer exists for: without it the
+    corrupted run completes, silently out of order."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    sim = Simulator()
+    order = []
+    sim.call_at(5.0, order.append, "a")
+    rogue = sim.call_at(10.0, order.append, "b")
+    rogue.time = 1.0
+    sim.run()
+    assert order == ["a", "b"]   # executed despite t=1.0 < 5.0

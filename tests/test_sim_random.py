@@ -1,8 +1,9 @@
 """Unit tests for named random streams."""
 
 import numpy as np
+import pytest
 
-from repro.sim import RandomRouter
+from repro.sim import RandomRouter, StreamSharingError
 
 
 def test_same_seed_same_name_same_sequence():
@@ -24,7 +25,10 @@ def test_different_seeds_give_different_sequences():
     assert not np.array_equal(a, b)
 
 
-def test_stream_is_cached_and_continues():
+def test_stream_is_cached_and_continues(monkeypatch):
+    # Plain caching semantics; the sanitizer's ownership rules are
+    # exercised separately below.
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
     router = RandomRouter(seed=3)
     first = router.stream("s").random(10)
     second = router.stream("s").random(10)
@@ -41,7 +45,8 @@ def test_consuming_one_stream_does_not_shift_another():
     assert np.array_equal(quiet, reference)
 
 
-def test_fork_is_deterministic_and_disjoint():
+def test_fork_is_deterministic_and_disjoint(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
     router = RandomRouter(seed=5)
     f1 = router.fork("run-1")
     f2 = router.fork("run-2")
@@ -55,3 +60,54 @@ def test_streams_created_lists_names():
     router.stream("a")
     router.stream("b")
     assert set(router.streams_created()) == {"a", "b"}
+
+
+# ---------------------------------------------------- sanitizer (REPRO_SANITIZE)
+
+def _component_a(router):
+    return router.stream("shared.name")
+
+
+def _component_b(router):
+    return router.stream("shared.name")
+
+
+def test_shared_stream_name_raises_under_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    router = RandomRouter(seed=0)
+    _component_a(router)
+    with pytest.raises(StreamSharingError):
+        _component_b(router)
+
+
+def test_same_call_site_may_refetch_its_stream(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    router = RandomRouter(seed=0)
+    draws = []
+    for _ in range(3):
+        # One component polling its own stream in a loop is one call site.
+        draws.append(float(router.stream("poller").random()))
+    assert len(set(draws)) == 3   # the stream continues, no restart
+
+
+def test_shared_stream_name_tolerated_without_sanitizer(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    router = RandomRouter(seed=0)
+    assert _component_a(router) is _component_b(router)
+
+
+def test_fork_gets_fresh_ownership(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    router = RandomRouter(seed=0)
+    _component_a(router)
+    # Forked routers are disjoint universes: the same component layout
+    # claims the same names again without conflict.
+    _component_a(router.fork("run-2"))
+
+
+def test_sanitizer_does_not_change_stream_values(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    plain = RandomRouter(seed=9).stream("values").random(50)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sanitized = RandomRouter(seed=9).stream("values").random(50)
+    assert np.array_equal(plain, sanitized)

@@ -1,0 +1,31 @@
+"""reprolint — determinism lint suite for the DiversiFi reproduction.
+
+The whole evaluation rests on bit-for-bit deterministic simulation runs:
+paired strategy comparisons are only valid because every stochastic
+component draws from its own named :class:`repro.sim.random.RandomRouter`
+stream and the engine enforces causality.  ``reprolint`` statically checks
+those invariants (plus a handful of generic correctness rules) so that
+silent nondeterminism cannot creep back in as the codebase grows.
+
+Run it as::
+
+    PYTHONPATH=tools python -m reprolint src/
+
+Findings can be suppressed per line with ``# reprolint: disable=DET001``
+(comma-separated rule ids, or ``all``), and known findings can be frozen
+into a baseline file so only *new* violations fail the build
+(``--write-baseline`` / ``--baseline``).
+"""
+
+from reprolint.engine import Finding, lint_file, lint_paths
+from reprolint.rules import ALL_RULES, rule_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "rule_table",
+]

@@ -1,0 +1,8 @@
+"""``python -m reprolint`` entry point."""
+
+import sys
+
+from reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Command-line front end: ``python -m reprolint src/``.
+
+Exit status: 0 when no (non-baselined) findings, 1 when violations were
+found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from reprolint.baseline import filter_new, load_baseline, write_baseline
+from reprolint.engine import Finding, lint_paths
+from reprolint.rules import ALL_RULES, rule_table
+
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Determinism lint suite for the DiversiFi simulator.")
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             "when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="freeze current findings into the baseline "
+                             "file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-finding output")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None,
+         out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(rule_table(), file=out)
+        return 0
+
+    paths = args.paths or ["src/"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"reprolint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    rules = None
+    if args.select:
+        rules = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in ALL_RULES]
+        if unknown:
+            print(f"reprolint: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    findings: List[Finding] = lint_paths(paths, rules=rules)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"reprolint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}", file=out)
+        return 0
+
+    if not args.no_baseline and os.path.exists(baseline_path):
+        findings = filter_new(findings, load_baseline(baseline_path))
+
+    if not args.quiet:
+        for finding in findings:
+            print(finding.render(), file=out)
+    checked = "all rules" if rules is None else ",".join(rules)
+    print(f"reprolint: {len(findings)} new finding(s) ({checked})", file=out)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

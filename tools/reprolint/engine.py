@@ -1,0 +1,88 @@
+"""File walking, rule dispatch, and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from reprolint.rules import ALL_RULES, FileInfo
+from reprolint.suppress import is_suppressed, parse_suppressions
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    path: str
+    rule: str
+    line: int
+    col: int
+    message: str
+    #: stripped source text of the offending line — the stable part of the
+    #: baseline fingerprint (line numbers drift, code rarely does)
+    text: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.rule} {self.message}"
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one file's source text.  ``path`` is used for reporting and
+    for path-scoped rule exemptions (e.g. ``sim/random.py``)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, rule="PARSE", line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"syntax error: {exc.msg}", text="")]
+    lines = source.splitlines()
+    suppressions = parse_suppressions(lines)
+    info = FileInfo(path, tree)
+    findings: List[Finding] = []
+    selected = rules if rules is not None else sorted(ALL_RULES)
+    for rule_id in selected:
+        _, checker = ALL_RULES[rule_id]
+        for lineno, col, message in checker(tree, info):
+            if is_suppressed(suppressions, lineno, rule_id):
+                continue
+            text = lines[lineno - 1].strip() if lineno <= len(lines) else ""
+            findings.append(Finding(path=path, rule=rule_id, line=lineno,
+                                    col=col, message=message, text=text))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str,
+              rules: Optional[Sequence[str]] = None) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings

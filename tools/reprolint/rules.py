@@ -1,0 +1,417 @@
+"""The lint rules.
+
+Determinism rules (DET*) encode the repo-specific invariants the paired
+strategy comparisons rest on; generic rules (GEN*) catch correctness
+hazards that have bitten discrete-event simulators before.
+
+==========  =============================  =======================================
+id          name                           what it flags
+==========  =============================  =======================================
+DET001      unrouted-rng                   global/unrouted RNG use (``random.*``,
+                                           ``np.random.<fn>``, bare
+                                           ``default_rng``) anywhere except
+                                           ``sim/random.py``
+DET002      wall-clock                     wall/monotonic clock or OS entropy
+                                           (``time.time``, ``time.perf_counter``,
+                                           ``datetime.now``, ``time.sleep``,
+                                           ``os.urandom``) in simulation code
+DET003      unordered-iteration            iteration over sets inside functions
+                                           that schedule events
+GEN101      mutable-default-arg            ``def f(x=[])`` and friends
+GEN102      overbroad-except               bare ``except:`` / ``except Exception``
+GEN103      float-time-equality            ``==``/``!=`` on simulated timestamps
+GEN104      event-class-missing-slots      hot ``*Event`` classes without
+                                           ``__slots__``
+GEN105      shadowed-stream-name           one stream-name literal passed to
+                                           ``.stream()`` from two call sites
+==========  =============================  =======================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Set, Tuple
+
+# A rule callback receives (tree, context) and yields
+# (lineno, col, message) tuples; the engine attaches rule id and file.
+RawFinding = Tuple[int, int, str]
+
+
+class FileInfo:
+    """Per-file facts shared by every rule (imports, path classification)."""
+
+    def __init__(self, path: str, tree: ast.Module):
+        self.path = path
+        self.tree = tree
+        posix = path.replace("\\", "/")
+        #: sim/random.py is the one module allowed to build raw generators —
+        #: it is where the named-stream discipline is *implemented*.
+        self.is_stream_factory = posix.endswith("sim/random.py")
+        # Names bound to modules of interest by the file's imports.
+        self.numpy_aliases: Set[str] = set()
+        self.numpy_random_aliases: Set[str] = set()
+        self.stdlib_random_aliases: Set[str] = set()
+        self.datetime_mod_aliases: Set[str] = set()
+        self.datetime_cls_aliases: Set[str] = set()
+        self.time_aliases: Set[str] = set()
+        self.os_aliases: Set[str] = set()
+        # Bare names imported from the random modules (``from numpy.random
+        # import default_rng`` / ``from random import choice``).
+        self.bare_rng_names: Set[str] = set()
+        self.bare_clock_names: Set[str] = set()
+        self._collect_imports(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        if alias.name == "numpy.random" and alias.asname:
+                            self.numpy_random_aliases.add(alias.asname)
+                        else:
+                            self.numpy_aliases.add(bound)
+                    elif alias.name == "random":
+                        self.stdlib_random_aliases.add(bound)
+                    elif alias.name == "datetime":
+                        self.datetime_mod_aliases.add(bound)
+                    elif alias.name == "time":
+                        self.time_aliases.add(bound)
+                    elif alias.name == "os":
+                        self.os_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if module == "numpy" and alias.name == "random":
+                        self.numpy_random_aliases.add(bound)
+                    elif module in ("numpy.random", "random"):
+                        self.bare_rng_names.add(bound)
+                    elif module == "datetime" and alias.name == "datetime":
+                        self.datetime_cls_aliases.add(bound)
+                    elif module == "time" and alias.name in _CLOCK_FUNCTIONS:
+                        self.bare_clock_names.add(bound)
+                    elif module == "os" and alias.name == "urandom":
+                        self.bare_clock_names.add(bound)
+
+
+def _dotted(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute chains; '' for anything fancier."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# DET001 — unrouted RNG
+# ---------------------------------------------------------------------------
+
+def check_det001(tree: ast.Module, info: FileInfo):
+    """Global/unrouted randomness outside the stream factory."""
+    if info.is_stream_factory:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = _dotted(func)
+        if not name:
+            continue
+        head, _, rest = name.partition(".")
+        if head in info.stdlib_random_aliases and rest:
+            yield (node.lineno, node.col_offset,
+                   f"call to stdlib '{name}' bypasses RandomRouter; "
+                   "draw from a named stream instead")
+        elif head in info.numpy_aliases and rest.startswith("random."):
+            yield (node.lineno, node.col_offset,
+                   f"call to '{name}' bypasses RandomRouter; "
+                   "draw from a named stream instead")
+        elif head in info.numpy_random_aliases and rest:
+            yield (node.lineno, node.col_offset,
+                   f"call to numpy.random '{name}' bypasses RandomRouter; "
+                   "draw from a named stream instead")
+        elif "." not in name and name in info.bare_rng_names:
+            yield (node.lineno, node.col_offset,
+                   f"bare '{name}()' creates an unrouted generator; "
+                   "inject one from RandomRouter.stream(...)")
+
+
+# ---------------------------------------------------------------------------
+# DET002 — wall clock / OS entropy
+# ---------------------------------------------------------------------------
+
+_CLOCK_FUNCTIONS = {
+    "time", "time_ns", "sleep", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+}
+_DATETIME_FACTORIES = {"now", "utcnow", "today"}
+
+
+def check_det002(tree: ast.Module, info: FileInfo):
+    """Wall-clock reads make runs unreproducible; simulated time only."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if not name:
+            continue
+        head, _, rest = name.partition(".")
+        if head in info.time_aliases and rest in _CLOCK_FUNCTIONS:
+            yield (node.lineno, node.col_offset,
+                   f"'{name}()' reads the host clock; simulation code "
+                   "must use Simulator.now")
+        elif head in info.os_aliases and rest == "urandom":
+            yield (node.lineno, node.col_offset,
+                   "'os.urandom' is nondeterministic OS entropy; "
+                   "use RandomRouter")
+        elif (head in info.datetime_mod_aliases
+              and rest.startswith("datetime.")
+              and rest.split(".")[1] in _DATETIME_FACTORIES):
+            yield (node.lineno, node.col_offset,
+                   f"'{name}()' reads the host clock; simulation code "
+                   "must use Simulator.now")
+        elif head in info.datetime_cls_aliases and rest in _DATETIME_FACTORIES:
+            yield (node.lineno, node.col_offset,
+                   f"'{name}()' reads the host clock; simulation code "
+                   "must use Simulator.now")
+        elif "." not in name and name in info.bare_clock_names:
+            yield (node.lineno, node.col_offset,
+                   f"'{name}()' reads host clock/entropy; not allowed in "
+                   "simulation code")
+
+
+# ---------------------------------------------------------------------------
+# DET003 — unordered iteration feeding event scheduling
+# ---------------------------------------------------------------------------
+
+_SCHEDULING_CALLS = {"call_at", "call_in", "schedule"}
+
+
+def _function_schedules(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name and name.rsplit(".", 1)[-1] in _SCHEDULING_CALLS:
+                return True
+    return False
+
+
+def _is_unordered_iterable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def check_det003(tree: ast.Module, info: FileInfo):
+    """Set iteration order is hash-salted; scheduling from it diverges."""
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _function_schedules(func):
+            continue
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and _is_unordered_iterable(node.iter):
+                yield (node.lineno, node.col_offset,
+                       "iterating an unordered set in a function that "
+                       "schedules events; sort it first")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    if _is_unordered_iterable(comp.iter):
+                        yield (node.lineno, node.col_offset,
+                               "comprehension over an unordered set in a "
+                               "function that schedules events; sort it "
+                               "first")
+
+
+# ---------------------------------------------------------------------------
+# GEN101 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+def check_gen101(tree: ast.Module, info: FileInfo):
+    """Mutable defaults are shared across calls — classic state leak."""
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(func.args.defaults)
+        defaults += [d for d in func.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                label = getattr(func, "name", "<lambda>")
+                yield (default.lineno, default.col_offset,
+                       f"mutable default argument in '{label}'; "
+                       "use None and create inside")
+
+
+# ---------------------------------------------------------------------------
+# GEN102 — bare / overbroad except
+# ---------------------------------------------------------------------------
+
+def check_gen102(tree: ast.Module, info: FileInfo):
+    """Catching everything swallows SimulationError and sanitizer faults."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield (node.lineno, node.col_offset,
+                   "bare 'except:' swallows every error including "
+                   "engine invariant failures")
+        elif isinstance(node.type, ast.Name) \
+                and node.type.id in ("Exception", "BaseException"):
+            yield (node.lineno, node.col_offset,
+                   f"overbroad 'except {node.type.id}' hides engine "
+                   "invariant failures; catch the specific error")
+
+
+# ---------------------------------------------------------------------------
+# GEN103 — float equality on simulated timestamps
+# ---------------------------------------------------------------------------
+
+_TIME_NAMES = {"now", "time", "deadline", "timestamp", "t"}
+_TIME_SUFFIXES = ("_time", "_ts", "_deadline", "_at")
+
+
+def _looks_time_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    else:
+        return False
+    return ident in _TIME_NAMES or ident.endswith(_TIME_SUFFIXES)
+
+
+def check_gen103(tree: ast.Module, info: FileInfo):
+    """Float timestamps accumulate rounding error; == comparisons flap."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _looks_time_like(left) or _looks_time_like(right):
+                yield (node.lineno, node.col_offset,
+                       "exact ==/!= on a simulated timestamp; compare "
+                       "with a tolerance (abs(a - b) < eps)")
+
+
+# ---------------------------------------------------------------------------
+# GEN104 — missing __slots__ on hot Event-like classes
+# ---------------------------------------------------------------------------
+
+def _has_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _is_dataclass_or_namedtuple(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        name = _dotted(decorator.func if isinstance(decorator, ast.Call)
+                       else decorator)
+        if name.rsplit(".", 1)[-1] == "dataclass":
+            return True
+    for base in cls.bases:
+        if _dotted(base).rsplit(".", 1)[-1] in ("NamedTuple", "Enum"):
+            return True
+    return False
+
+
+def check_gen104(tree: ast.Module, info: FileInfo):
+    """Hot *Event classes need __slots__; per-instance dicts dominate.
+
+    Event objects are allocated millions of times per run.  Dataclasses
+    and NamedTuples are exempt (they manage their own layout)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Event"):
+            continue
+        if _is_dataclass_or_namedtuple(node) or _has_slots(node):
+            continue
+        yield (node.lineno, node.col_offset,
+               f"hot event class '{node.name}' lacks __slots__")
+
+
+# ---------------------------------------------------------------------------
+# GEN105 — shadowed stream names
+# ---------------------------------------------------------------------------
+
+def check_gen105(tree: ast.Module, info: FileInfo):
+    """One stream-name literal used at two call sites shares a generator.
+
+    Each component's draws would then perturb the other's — exactly the
+    coupling the named-stream design exists to prevent."""
+    seen: Dict[str, Tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "stream"):
+            continue
+        if not node.args or not isinstance(node.args[0], ast.Constant):
+            continue
+        value = node.args[0].value
+        if not isinstance(value, str):
+            continue
+        first = seen.get(value)
+        if first is None:
+            seen[value] = (node.lineno, node.col_offset)
+        elif first[0] != node.lineno:
+            yield (node.lineno, node.col_offset,
+                   f"stream name '{value}' already requested at "
+                   f"line {first[0]}; two components would share one "
+                   "generator")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: rule id -> (short name, checker)
+ALL_RULES: Dict[str, Tuple[str, Callable]] = {
+    "DET001": ("unrouted-rng", check_det001),
+    "DET002": ("wall-clock", check_det002),
+    "DET003": ("unordered-iteration", check_det003),
+    "GEN101": ("mutable-default-arg", check_gen101),
+    "GEN102": ("overbroad-except", check_gen102),
+    "GEN103": ("float-time-equality", check_gen103),
+    "GEN104": ("event-class-missing-slots", check_gen104),
+    "GEN105": ("shadowed-stream-name", check_gen105),
+}
+
+
+def rule_table() -> str:
+    """Human-readable rule listing (``--list-rules``)."""
+    width = max(len(rule_id) for rule_id in ALL_RULES)
+    lines = []
+    for rule_id in sorted(ALL_RULES):
+        name, checker = ALL_RULES[rule_id]
+        summary = (checker.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"{rule_id.ljust(width)}  {name.ljust(26)} {summary}")
+    return "\n".join(lines)

@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-baseline sanitize-test bench bench-full \
-	examples docs clean
+.PHONY: install test lint lint-baseline typecheck sanitize-test bench \
+	bench-full examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,15 +11,28 @@ install:
 test:
 	$(PYTHON) -m pytest tests/ -q
 
-# Determinism lint suite (tools/reprolint).  Fails on any finding not in
-# .reprolint-baseline.json; see CONTRIBUTING.md for the rule table and
-# suppression syntax.
+# Static-analysis pipeline, both stages:
+#   stage 1 (tools/reprolint)  — per-file determinism lint
+#   stage 2 (tools/reproflow)  — project-wide units / lifecycle / config
+# Each fails on any finding not in its committed baseline; see
+# CONTRIBUTING.md for the rule tables and suppression syntax.
 lint:
-	PYTHONPATH=tools $(PYTHON) -m reprolint src/
+	PYTHONPATH=tools $(PYTHON) -m reprolint src/ tools/ tests/
+	PYTHONPATH=tools $(PYTHON) -m reproflow src/ tools/ tests/
 
-# Refreeze the baseline (only for genuinely unfixable legacy findings).
+# Refreeze the baselines (only for genuinely unfixable legacy findings).
 lint-baseline:
-	PYTHONPATH=tools $(PYTHON) -m reprolint src/ --write-baseline
+	PYTHONPATH=tools $(PYTHON) -m reprolint src/ tools/ tests/ --write-baseline
+	PYTHONPATH=tools $(PYTHON) -m reproflow src/ tools/ tests/ --write-baseline
+
+# Strict typing gate for the core package.  mypy is an optional dev
+# dependency (CI installs it); skip gracefully where it is absent.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --config-file mypy.ini src/repro; \
+	else \
+		echo "typecheck: mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 # Run the simulator test files with the runtime invariant sanitizer on:
 # heap-order assertions, stream-ownership checks, determinism digests.

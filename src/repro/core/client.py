@@ -24,13 +24,15 @@ secondary AP, and a **stop** on departure (Section 5.3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from repro.core.config import ClientConfig, StreamProfile
 from repro.core.packet import Packet, StreamTrace
-from repro.sim.engine import Simulator
+from repro.core.types import ReplicaBuffer
+from repro.sim.engine import Event, Simulator
+from repro.sim.tracing import EventLog
 from repro.wifi.association import WifiManager
 
 
@@ -60,8 +62,10 @@ class DiversiFiClient:
                  profile: StreamProfile, config: ClientConfig,
                  stream_start_time: float = 0.0,
                  nominal_delay_s: float = 0.005,
-                 middlebox=None, flow_id: str = "rt0",
-                 enabled: bool = True, event_log=None,
+                 middlebox: Optional[ReplicaBuffer] = None,
+                 flow_id: str = "rt0",
+                 enabled: bool = True,
+                 event_log: Optional[EventLog] = None,
                  middlebox_explicit: bool = False):
         self.sim = sim
         self.manager = manager
@@ -86,11 +90,11 @@ class DiversiFiClient:
         self._highest_seen = -1
         #: seq -> recovery deadline (send time + MaxTolerableDelay)
         self._pending_lost: Dict[int, float] = {}
-        self._declared_lost: set = set()
+        self._declared_lost: Set[int] = set()
         self._loss_declared_at: Dict[int, float] = {}
         self._on_secondary = False
         self._visit_planned = False
-        self._return_event = None
+        self._return_event: Optional[Event] = None
         self._last_secondary_visit = sim.now
         self._started = False
 

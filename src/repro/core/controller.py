@@ -18,7 +18,7 @@ Figure 8's primary/secondary/DiversiFi comparison is run per location.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple, Union
 
 from repro.core.client import ClientStats, DiversiFiClient
 from repro.core.config import (
@@ -27,12 +27,13 @@ from repro.core.config import (
     MiddleboxConfig,
     StreamProfile,
 )
-from repro.core.packet import LinkTrace, StreamTrace
+from repro.core.packet import LinkTrace, Packet, StreamTrace
 from repro.net.lan import LanSegment
 from repro.net.middlebox import Middlebox
 from repro.net.sdn import FlowMatch, MatchAction, SdnSwitch
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomRouter
+from repro.sim.tracing import EventLog
 from repro.traffic.voip import VoipSender
 from repro.wifi.ap import AccessPoint
 from repro.wifi.association import WifiManager
@@ -82,7 +83,7 @@ class SessionResult:
         return self.wasteful_duplicates / self.stream.n_packets
 
 
-def run_session(link_factory: Callable[[RandomRouter], Tuple],
+def run_session(link_factory: Callable[[RandomRouter], Tuple[Any, Any]],
                 mode: str = "diversifi-ap",
                 profile: StreamProfile = StreamProfile(),
                 client_config: Optional[ClientConfig] = None,
@@ -92,7 +93,7 @@ def run_session(link_factory: Callable[[RandomRouter], Tuple],
                 extra_middlebox_streams: int = 0,
                 with_tcp: bool = False,
                 tcp_capacity_bps: float = 4.6e6,
-                event_log=None,
+                event_log: Optional[EventLog] = None,
                 middlebox_explicit: bool = False) -> SessionResult:
     """Simulate one call end to end and return its result.
 
@@ -213,8 +214,10 @@ def run_session(link_factory: Callable[[RandomRouter], Tuple],
         determinism_digest=sim.determinism_digest())
 
 
-def _lan_into(sim: Simulator, router: RandomRouter, target, name: str,
-              is_ap: bool = True) -> Callable:
+def _lan_into(sim: Simulator, router: RandomRouter,
+              target: Union[AccessPoint, Callable[[Packet], None]],
+              name: str,
+              is_ap: bool = True) -> Callable[[Packet], None]:
     """A LAN segment whose sink is an AP's wired ingress (or a callable)."""
     sink = target.wired_arrival if is_ap else target
     segment = LanSegment(sim, sink, router.stream(f"{name}.jitter"),

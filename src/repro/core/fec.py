@@ -16,10 +16,13 @@ bursty channels while costing less airtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
+from repro.core.config import StreamProfile
 from repro.core.packet import LinkTrace
+from repro.core.types import NamedRadioLink
 
 
 @dataclass(frozen=True)
@@ -80,7 +83,9 @@ def apply_fec(data_trace: LinkTrace, parity_trace: LinkTrace,
                      delivered, delays)
 
 
-def render_fec_run(link, profile, config: FecConfig = FecConfig()):
+def render_fec_run(link: NamedRadioLink, profile: StreamProfile,
+                   config: FecConfig = FecConfig()
+                   ) -> Tuple[LinkTrace, LinkTrace]:
     """Transmit a stream plus its parity packets over one link.
 
     Parity packet for block b is sent right after the block's last data

@@ -20,12 +20,13 @@ replication benefit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.core.config import StreamProfile
 from repro.core.packet import LinkTrace, merge_traces
+from repro.core.types import RadioLink
 
 
 @dataclass
@@ -41,8 +42,8 @@ class MultiLinkRun:
         return len(self.traces)
 
 
-def render_multilink_run(links: Sequence, profile: StreamProfile
-                         ) -> MultiLinkRun:
+def render_multilink_run(links: Sequence[RadioLink],
+                         profile: StreamProfile) -> MultiLinkRun:
     """Transmit one stream copy per link, all in global time order."""
     if not links:
         raise ValueError("need at least one link")
@@ -87,7 +88,8 @@ def best_of(run: MultiLinkRun, k: int) -> LinkTrace:
 
 
 def diversity_gain_curve(runs: Sequence[MultiLinkRun],
-                         metric) -> Dict[int, float]:
+                         metric: Callable[[LinkTrace], float]
+                         ) -> Dict[int, float]:
     """Mean ``metric(trace)`` vs number of links used (1..N)."""
     if not runs:
         raise ValueError("no runs")

@@ -18,6 +18,8 @@ from typing import Dict, Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.core.types import BoolArray, FloatArray
+
 
 @dataclass
 class Packet:
@@ -67,9 +69,9 @@ class LinkTrace:
     def __init__(self, name: str, send_times: Sequence[float],
                  delivered: Sequence[bool], delays: Sequence[float]):
         self.name = name
-        self.send_times = np.asarray(send_times, dtype=float)
-        self.delivered = np.asarray(delivered, dtype=bool)
-        self.delays = np.asarray(delays, dtype=float)
+        self.send_times: FloatArray = np.asarray(send_times, dtype=float)
+        self.delivered: BoolArray = np.asarray(delivered, dtype=bool)
+        self.delays: FloatArray = np.asarray(delays, dtype=float)
         if not (len(self.send_times) == len(self.delivered)
                 == len(self.delays)):
             raise ValueError("trace columns must have equal length")
@@ -78,13 +80,13 @@ class LinkTrace:
         return len(self.send_times)
 
     @property
-    def arrival_times(self) -> np.ndarray:
+    def arrival_times(self) -> FloatArray:
         """Arrival time per packet (NaN where lost)."""
         arrivals = self.send_times + self.delays
         return np.where(self.delivered, arrivals, np.nan)
 
     @property
-    def loss_indicator(self) -> np.ndarray:
+    def loss_indicator(self) -> FloatArray:
         """1.0 where the packet was lost, 0.0 where delivered."""
         return (~self.delivered).astype(float)
 
@@ -115,7 +117,7 @@ class StreamTrace:
     """
 
     n_packets: int
-    send_times: np.ndarray
+    send_times: FloatArray
     arrivals: Dict[int, float] = field(default_factory=dict)
     duplicates: int = 0
     #: per-link receive counters for overhead accounting

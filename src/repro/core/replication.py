@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.config import StreamProfile
 from repro.core.packet import LinkTrace, merge_traces
+from repro.core.types import NamedRadioLink
 
 
 @dataclass
@@ -48,7 +49,8 @@ class PairedRun:
         return len(self.trace_a)
 
 
-def render_paired_run(link_a, link_b, profile: StreamProfile,
+def render_paired_run(link_a: NamedRadioLink, link_b: NamedRadioLink,
+                      profile: StreamProfile,
                       temporal_deltas: Sequence[float] = (),
                       scenario: str = "") -> PairedRun:
     """Simulate one call with full replication on both links.

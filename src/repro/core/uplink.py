@@ -23,13 +23,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import ClientConfig, StreamProfile
 from repro.core.packet import StreamTrace
+from repro.core.types import NamedRadioLink
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.sim.random import RandomRouter
 
 
 @dataclass
@@ -48,7 +52,8 @@ class UplinkStats:
 class UplinkDiversiFiClient:
     """Single-NIC uplink sender hedging across two links."""
 
-    def __init__(self, sim: Simulator, link_primary, link_secondary,
+    def __init__(self, sim: Simulator, link_primary: NamedRadioLink,
+                 link_secondary: NamedRadioLink,
                  profile: StreamProfile,
                  config: Optional[ClientConfig] = None,
                  enabled: bool = True):
@@ -90,7 +95,8 @@ class UplinkDiversiFiClient:
                 else self.link_primary)
         self._transmit(seq, link, is_retry=False)
 
-    def _transmit(self, seq: int, link, is_retry: bool) -> None:
+    def _transmit(self, seq: int, link: NamedRadioLink,
+                  is_retry: bool) -> None:
         if self.sim.now > self._deadline(seq):
             self.stats.expired += 1
             return
@@ -156,7 +162,9 @@ class UplinkDiversiFiClient:
             self._transmit(seq, link, is_retry=True)
 
 
-def run_uplink_session(link_factory, profile: StreamProfile,
+def run_uplink_session(link_factory: Callable[["RandomRouter"],
+                                              Tuple[Any, Any]],
+                       profile: StreamProfile,
                        seed: int = 0, enabled: bool = True
                        ) -> UplinkDiversiFiClient:
     """Run one uplink call and return the finished client."""

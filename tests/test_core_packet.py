@@ -167,3 +167,64 @@ def test_merge_single_trace_identity():
     a = make_trace("a", [True, False, True])
     merged = merge_traces([a])
     assert merged.delivered.tolist() == a.delivered.tolist()
+
+
+# ------------------------------------------------- lifecycle invariants
+
+def test_copy_for_link_preserves_every_field():
+    """Introspective guard: if a field is ever added to Packet,
+    copy_for_link must carry it over (this is exactly the failure mode
+    reproflow's LIF002 exists to prevent in hand-rolled replicas)."""
+    import dataclasses
+
+    p = Packet(seq=7, send_time=1.23, size_bytes=1200, flow_id="rt9",
+               link="primary", is_duplicate=False)
+    c = p.copy_for_link("secondary", is_duplicate=True)
+    overridden = {"link": "secondary", "is_duplicate": True}
+    for f in dataclasses.fields(Packet):
+        expected = overridden.get(f.name, getattr(p, f.name))
+        assert getattr(c, f.name) == expected, (
+            f"copy_for_link dropped or corrupted field {f.name!r}")
+
+
+def test_copy_for_link_returns_distinct_object():
+    p = Packet(seq=0, send_time=0.0)
+    c = p.copy_for_link("secondary")
+    c.seq = 99
+    assert p.seq == 0
+
+
+def test_nan_delay_does_not_poison_window_aggregates():
+    """A lost packet's NaN delay must never leak into the windowed loss
+    metrics: they are defined over the boolean delivery column."""
+    from repro.analysis.windows import window_loss_rates, worst_window_loss
+
+    record = DeliveryRecord(seq=1, send_time=0.02, delivered=False)
+    assert math.isnan(record.delay)
+
+    delivered = [True, False, True, False]
+    delays = [0.005, record.delay, 0.005, math.nan]
+    trace = make_trace("lossy", delivered, delays=delays)
+
+    rates = window_loss_rates(trace, window_s=0.04,
+                              inter_packet_spacing_s=0.02)
+    assert np.isfinite(rates).all()
+    assert rates.tolist() == [0.5, 0.5]
+    worst = worst_window_loss(trace, window_s=0.04,
+                              inter_packet_spacing_s=0.02)
+    assert worst == pytest.approx(0.5)
+
+
+def test_nan_delay_stream_trace_effective_conversion():
+    """StreamTrace -> LinkTrace -> windows: packets that never arrived
+    stay NaN in the delay column but count cleanly as losses."""
+    from repro.analysis.windows import worst_window_loss
+
+    stream = StreamTrace(n_packets=4, send_times=np.arange(4) * 0.02)
+    stream.record_arrival(0, 0.005, link="primary")
+    stream.record_arrival(2, 0.047, link="secondary")
+    trace = stream.effective_trace()
+    assert math.isnan(trace.delays[1]) and math.isnan(trace.delays[3])
+    assert worst_window_loss(trace, window_s=0.08,
+                             inter_packet_spacing_s=0.02) \
+        == pytest.approx(0.5)

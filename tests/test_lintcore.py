@@ -1,0 +1,105 @@
+"""Tests for the shared analysis machinery (``tools/lintcore``).
+
+Both pipeline stages (reprolint, reproflow) sit on these pieces:
+findings, tool-scoped suppressions, baselines, path policies and the
+output formatters.
+"""
+
+import io
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from lintcore.baseline import filter_new, load_baseline, write_baseline  # noqa: E402
+from lintcore.findings import Finding                                    # noqa: E402
+from lintcore.output import emit, render_github                          # noqa: E402
+from lintcore.policy import PathPolicy                                   # noqa: E402
+from lintcore.suppress import is_suppressed, parse_suppressions          # noqa: E402
+
+
+def make_finding(path="src/a.py", rule="X001", line=3, col=4,
+                 message="bad thing", text="x = 1"):
+    return Finding(path=path, rule=rule, line=line, col=col,
+                   message=message, text=text)
+
+
+# -------------------------------------------------------- suppressions
+
+def test_suppressions_are_tool_scoped():
+    lines = ["x = 1  # reprolint: disable=A001",
+             "y = 2  # reproflow: disable=B001"]
+    stage1 = parse_suppressions(lines, tool="reprolint")
+    stage2 = parse_suppressions(lines, tool="reproflow")
+    assert is_suppressed(stage1, 1, "A001")
+    assert not is_suppressed(stage1, 2, "B001")
+    assert is_suppressed(stage2, 2, "B001")
+    assert not is_suppressed(stage2, 1, "A001")
+
+
+def test_suppression_disable_all():
+    sup = parse_suppressions(["z = 1  # reproflow: disable=all"],
+                             tool="reproflow")
+    assert is_suppressed(sup, 1, "ANY999")
+
+
+# ------------------------------------------------------------ baseline
+
+def test_baseline_fingerprint_survives_line_shift(tmp_path):
+    baseline_path = tmp_path / "bl.json"
+    original = make_finding(line=3)
+    write_baseline(str(baseline_path), [original])
+    shifted = make_finding(line=30)        # same path/rule/text
+    assert filter_new([shifted], load_baseline(str(baseline_path))) == []
+    edited = make_finding(text="x = 2")    # text changed: new finding
+    assert filter_new([edited],
+                      load_baseline(str(baseline_path))) == [edited]
+
+
+def test_baseline_is_a_multiset(tmp_path):
+    baseline_path = tmp_path / "bl.json"
+    write_baseline(str(baseline_path), [make_finding(line=3)])
+    two = [make_finding(line=3), make_finding(line=7)]
+    remaining = filter_new(two, load_baseline(str(baseline_path)))
+    assert len(remaining) == 1             # only one occurrence absorbed
+
+
+# -------------------------------------------------------------- policy
+
+def test_path_policy_prefix_scoping():
+    policy = PathPolicy((("tests/", ("A001",)),))
+    assert policy.exempt("tests/test_x.py", "A001")
+    assert not policy.exempt("tests/test_x.py", "B001")
+    assert not policy.exempt("src/a.py", "A001")
+
+
+def test_path_policy_matches_absolute_paths():
+    policy = PathPolicy((("tests/", ("A001",)),))
+    assert policy.exempt("/root/repo/tests/test_x.py", "A001")
+
+
+# -------------------------------------------------------------- output
+
+def test_render_github_workflow_command():
+    rendered = render_github(make_finding())
+    assert rendered.startswith("::error file=src/a.py,line=3,col=5,")
+    assert "title=X001" in rendered
+
+
+def test_emit_json_payload():
+    out = io.StringIO()
+    emit([make_finding()], "json", "reproflow", "summary", out)
+    payload = json.loads(out.getvalue())
+    assert payload["tool"] == "reproflow"
+    assert payload["count"] == 1
+    assert payload["findings"][0]["path"] == "src/a.py"
+    assert payload["findings"][0]["line"] == 3
+
+
+def test_emit_text_includes_summary():
+    out = io.StringIO()
+    emit([make_finding()], "text", "reprolint", "the-summary", out)
+    assert "src/a.py:3:5: X001 bad thing" in out.getvalue()
+    assert "the-summary" in out.getvalue()

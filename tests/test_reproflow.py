@@ -1,0 +1,529 @@
+"""Tests for the project-wide semantic analysis (``tools/reproflow``).
+
+Each rule family (UNT / LIF / CFG) gets triggering, clean, and
+suppressed fixtures; the index is tested for cross-module resolution
+and ambiguity guarding; and the real CLI is run over ``src/`` (must be
+clean against the committed baseline) and over seeded violations (must
+fail).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from reproflow.engine import analyze_paths, analyze_source   # noqa: E402
+from reproflow.index import build_index                      # noqa: E402
+from reproflow.rules import ALL_RULES                        # noqa: E402
+import ast                                                   # noqa: E402
+
+
+# A miniature project the fixtures resolve against: schemas live in a
+# *different* module than the code under analysis, exactly as in the
+# real tree (pass 1 must carry units and fields across files).
+CORE = textwrap.dedent('''
+    from dataclasses import dataclass
+
+    @dataclass
+    class Packet:
+        seq: int
+        send_time: float
+        size_bytes: int = 160
+        flow_id: str = "rt0"
+        link: str = ""
+        is_duplicate: bool = False
+
+        def copy_for_link(self, link, is_duplicate=True):
+            return Packet(seq=self.seq, send_time=self.send_time,
+                          size_bytes=self.size_bytes, flow_id=self.flow_id,
+                          link=link, is_duplicate=is_duplicate)
+
+    @dataclass
+    class DeliveryRecord:
+        seq: int
+        send_time: float
+        delivered: bool
+        arrival_time: float = float("nan")
+
+    @dataclass
+    class ClientConfig:
+        inter_packet_spacing_s: float = 0.02
+        playout_deadline_ms: float = 150.0
+
+    def schedule(timeout_s: float) -> float:
+        return timeout_s
+''')
+
+
+def analyze(source, path="pkg/module.py", rules=None):
+    return analyze_source(textwrap.dedent(source), path, rules=rules,
+                          extra={"core/schema.py": CORE})
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# ------------------------------------------------------------------
+# Per-family fixtures: (trigger source, clean source, suppressed source).
+# ------------------------------------------------------------------
+
+FAMILY_FIXTURES = {
+    "UNT": (
+        """
+        def jitter(a_ms, b_s):
+            return a_ms + b_s
+        """,
+        """
+        def jitter(a_ms, b_s):
+            return a_ms + b_s * 1000.0
+        """,
+        """
+        def jitter(a_ms, b_s):
+            return a_ms + b_s  # reproflow: disable=UNT001
+        """,
+    ),
+    "LIF": (
+        """
+        def forward(queue):
+            p = Packet(seq=1, send_time=0.0)
+            queue.append(p)
+            p.link = "secondary"
+        """,
+        """
+        def forward(queue):
+            p = Packet(seq=1, send_time=0.0)
+            p.link = "secondary"
+            queue.append(p)
+        """,
+        """
+        def forward(queue):
+            p = Packet(seq=1, send_time=0.0)
+            queue.append(p)
+            p.link = "secondary"  # reproflow: disable=LIF001
+        """,
+    ),
+    "CFG": (
+        """
+        def build():
+            return ClientConfig(inter_packet_spacing=0.02)
+        """,
+        """
+        def build():
+            return ClientConfig(inter_packet_spacing_s=0.02)
+        """,
+        """
+        def build():
+            return ClientConfig(inter_packet_spacing=0.02)  # reproflow: disable=CFG001
+        """,
+    ),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_FIXTURES))
+def test_family_triggers(family):
+    trigger, _, _ = FAMILY_FIXTURES[family]
+    found = rule_ids(analyze(trigger))
+    assert any(r.startswith(family) for r in found), found
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_FIXTURES))
+def test_family_clean(family):
+    _, clean, _ = FAMILY_FIXTURES[family]
+    assert analyze(clean) == []
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_FIXTURES))
+def test_family_suppressed_inline(family):
+    _, _, suppressed = FAMILY_FIXTURES[family]
+    assert analyze(suppressed) == []
+
+
+def test_reprolint_disable_comment_does_not_silence_reproflow():
+    source = """
+    def jitter(a_ms, b_s):
+        return a_ms + b_s  # reprolint: disable=UNT001
+    """
+    assert "UNT001" in rule_ids(analyze(source))
+
+
+# ------------------------------------------------------------------ UNT
+
+def test_unt001_comparison():
+    found = analyze("""
+    def late(deadline_ms, elapsed_s):
+        return elapsed_s > deadline_ms
+    """)
+    assert rule_ids(found) == ["UNT001"]
+
+
+def test_unt001_conversion_factors_are_clean():
+    assert analyze("""
+    def convert(one_way_delay_s, d_ms):
+        a_ms = max(one_way_delay_s, 0.0) * 1000.0
+        b_s = d_ms / 1000.0
+        c_s = d_ms * 0.001
+        return a_ms + d_ms, b_s + c_s
+    """) == []
+
+
+def test_unt001_dbm_plus_db_is_legal_rf_math():
+    assert analyze("""
+    def rssi(base_dbm, fade_db, penalty_db):
+        return base_dbm + fade_db - penalty_db
+    """) == []
+
+
+def test_unt002_keyword_argument_cross_module():
+    found = analyze("""
+    def arm(delay_ms):
+        return schedule(timeout_s=delay_ms)
+    """)
+    assert rule_ids(found) == ["UNT002"]
+
+
+def test_unt002_positional_argument():
+    found = analyze("""
+    def arm(delay_ms):
+        return schedule(delay_ms)
+    """)
+    assert rule_ids(found) == ["UNT002"]
+
+
+def test_unt002_dataclass_field_cross_module():
+    found = analyze("""
+    def build(deadline_s):
+        return ClientConfig(playout_deadline_ms=deadline_s)
+    """)
+    assert rule_ids(found) == ["UNT002"]
+
+
+def test_unt002_unknown_unit_never_flags():
+    assert analyze("""
+    def arm(delay):
+        return schedule(timeout_s=delay)
+    """) == []
+
+
+def test_unt003_assignment():
+    found = analyze("""
+    def convert(spacing_ms):
+        spacing_s = spacing_ms
+        return spacing_s
+    """)
+    assert rule_ids(found) == ["UNT003"]
+
+
+def test_unt003_learns_units_through_locals():
+    found = analyze("""
+    def gap(config):
+        spacing = config.inter_packet_spacing_s
+        gap_ms = spacing
+        return gap_ms
+    """)
+    assert rule_ids(found) == ["UNT003"]
+
+
+# ------------------------------------------------------------------ LIF
+
+def test_lif001_mutation_after_handoff_via_method():
+    found = analyze("""
+    def send(ap, base):
+        replica = base.copy_for_link("secondary")
+        ap.enqueue(replica)
+        replica.is_duplicate = False
+    """)
+    assert rule_ids(found) == ["LIF001"]
+
+
+def test_lif001_rebinding_clears_tracking():
+    assert analyze("""
+    def send(ap, base):
+        p = Packet(seq=1, send_time=0.0)
+        ap.enqueue(p)
+        p = Packet(seq=2, send_time=0.02)
+        p.link = "primary"
+    """) == []
+
+
+def test_lif002_hand_rolled_replica():
+    found = analyze("""
+    def replicate(base):
+        return Packet(seq=base.seq, send_time=base.send_time,
+                      flow_id=base.flow_id, link="secondary")
+    """)
+    assert rule_ids(found) == ["LIF002"]
+
+
+def test_lif002_fresh_packet_is_clean():
+    # Building a brand-new packet (at most one field mirrored from
+    # another object) is construction, not replication.
+    assert analyze("""
+    def emit(sender, seq, now):
+        return Packet(seq=seq, send_time=now, flow_id=sender.flow_id)
+    """) == []
+
+
+def test_lif003_unguarded_delay_read():
+    found = analyze("""
+    def sample(link, seq, t):
+        r = link.transmit(seq, t, 160)
+        return r.delay
+    """)
+    assert rule_ids(found) == ["LIF003"]
+
+
+def test_lif003_delivered_guard_is_clean():
+    assert analyze("""
+    def sample(link, seq, t):
+        r = link.transmit(seq, t, 160)
+        if r.delivered:
+            return r.delay
+        return 0.0
+    """) == []
+
+
+def test_lif003_nan_check_counts_as_guard():
+    assert analyze("""
+    import math
+    def sample(link, seq, t):
+        r = link.transmit(seq, t, 160)
+        d = r.delay
+        return 0.0 if math.isnan(d) else d
+    """) == []
+
+
+def test_lif003_records_iteration():
+    found = analyze("""
+    def total(trace):
+        acc = 0.0
+        for r in trace.records():
+            acc += r.arrival_time
+        return acc
+    """)
+    assert rule_ids(found) == ["LIF003"]
+
+
+# ------------------------------------------------------------------ CFG
+
+def test_cfg001_suggests_close_match():
+    found = analyze("""
+    def build():
+        return ClientConfig(inter_packet_spacing=0.02)
+    """)
+    assert found[0].rule == "CFG001"
+    assert "inter_packet_spacing_s" in found[0].message
+
+
+def test_cfg001_function_keyword():
+    found = analyze("""
+    def arm():
+        return schedule(timeout=1.0)
+    """)
+    assert rule_ids(found) == ["CFG001"]
+
+
+def test_cfg001_dataclasses_replace():
+    found = analyze("""
+    from dataclasses import replace
+    def tweak():
+        cfg = ClientConfig()
+        return replace(cfg, playout_deadline=100.0)
+    """)
+    assert rule_ids(found) == ["CFG001"]
+
+
+def test_cfg002_dict_literal_spread():
+    found = analyze("""
+    def build():
+        overrides = {"inter_packet_spacing_ms": 20.0}
+        return ClientConfig(**overrides)
+    """)
+    assert rule_ids(found) == ["CFG002"]
+
+
+def test_cfg002_valid_keys_clean():
+    assert analyze("""
+    def build():
+        overrides = {"inter_packet_spacing_s": 0.02,
+                     "playout_deadline_ms": 150.0}
+        return ClientConfig(**overrides)
+    """) == []
+
+
+def test_cfg_open_constructor_never_flags():
+    source = """
+    def build():
+        return Flexible(anything_goes=1)
+    """
+    extra = CORE + textwrap.dedent('''
+        class Flexible:
+            def __init__(self, **kwargs):
+                self.kwargs = kwargs
+    ''')
+    found = analyze_source(textwrap.dedent(source), "pkg/module.py",
+                           extra={"core/schema.py": extra})
+    assert found == []
+
+
+# ------------------------------------------------------------- the index
+
+def test_index_dataclass_units_and_rosters():
+    tree = ast.parse(CORE)
+    index = build_index({"core/schema.py": tree})
+    cfg = index.resolve_class("ClientConfig")
+    assert cfg is not None
+    assert cfg.fields["inter_packet_spacing_s"] == "s"
+    assert cfg.fields["playout_deadline_ms"] == "ms"
+    assert "Packet" in index.packet_classes
+    assert "DeliveryRecord" in index.record_classes
+
+
+def test_index_conflicting_definitions_are_ambiguous():
+    a = ast.parse("def helper(x_s):\n    return x_s\n")
+    b = ast.parse("def helper(a, b, c):\n    return a\n")
+    index = build_index({"m1.py": a, "m2.py": b})
+    assert index.resolve_function("helper") is None
+
+
+def test_ambiguous_schema_is_never_checked():
+    # Two different ClientConfig definitions: the analysis must not
+    # guess which one a call site means.
+    other = "class ClientConfig:\n    def __init__(self, totally):\n        pass\n"
+    found = analyze_source(
+        "def build():\n    return ClientConfig(bogus_key=1)\n",
+        "pkg/module.py",
+        extra={"core/schema.py": CORE, "alt/schema.py": other})
+    assert found == []
+
+
+def test_import_alias_is_not_resolved():
+    # `from x import f as schedule` makes the local name a stranger to
+    # the indexed `schedule` — no checks may apply.
+    found = analyze("""
+    from somewhere import other as schedule
+    def arm(delay_ms):
+        return schedule(timeout_s=delay_ms, bogus=1)
+    """)
+    assert found == []
+
+
+# ----------------------------------------------------------------- CLI
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "tools"), env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    return subprocess.run(
+        [sys.executable, "-m", "reproflow", *args],
+        capture_output=True, text=True, cwd=cwd or str(REPO), env=env)
+
+
+def test_cli_clean_on_repo_source_tree():
+    """`python -m reproflow src/` over the real tree: zero non-baselined
+    findings (the acceptance criterion for this subsystem)."""
+    result = run_cli("src/")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 new finding(s)" in result.stdout
+
+
+def test_cli_fails_on_seeded_unit_violation(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(a_ms, b_s):\n    return a_ms + b_s\n")
+    result = run_cli(str(bad), "--no-baseline")
+    assert result.returncode == 1
+    assert "UNT001" in result.stdout
+
+
+def test_cli_seeded_violation_resolves_against_src_schemas(tmp_path):
+    # The fixture file lives outside src/ but constructs a core config
+    # with a typo'd keyword: pass 1 must have indexed src/ anyway.
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.core.config import ClientConfig\n"
+        "cfg = ClientConfig(inter_packet_spacing_ms=20.0)\n")
+    result = run_cli(str(bad), "--no-baseline")
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "CFG001" in result.stdout
+    assert "inter_packet_spacing_s" in result.stdout
+
+
+def test_cli_select_restricts_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(a_ms, b_s):\n    return a_ms + b_s\n")
+    result = run_cli(str(bad), "--select", "CFG001", "--no-baseline")
+    assert result.returncode == 0
+
+
+def test_cli_write_baseline_then_clean(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(a_ms, b_s):\n    return a_ms + b_s\n")
+    baseline = tmp_path / "bl.json"
+    first = run_cli(str(bad), "--baseline", str(baseline),
+                    "--write-baseline")
+    assert first.returncode == 0
+    second = run_cli(str(bad), "--baseline", str(baseline))
+    assert second.returncode == 0, second.stdout
+
+
+def test_cli_json_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(a_ms, b_s):\n    return a_ms + b_s\n")
+    result = run_cli(str(bad), "--no-baseline", "--format=json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["tool"] == "reproflow"
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "UNT001"
+
+
+def test_cli_github_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(a_ms, b_s):\n    return a_ms + b_s\n")
+    result = run_cli(str(bad), "--no-baseline", "--format=github")
+    assert result.returncode == 1
+    assert "::error file=" in result.stdout
+    assert "title=UNT001" in result.stdout
+
+
+def test_cli_list_rules_mentions_every_rule():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule in ALL_RULES:
+        assert rule in result.stdout
+
+
+def test_cli_unknown_rule_is_usage_error():
+    result = run_cli("src/", "--select", "NOPE999")
+    assert result.returncode == 2
+
+
+def test_cli_missing_path_is_usage_error():
+    result = run_cli("no/such/dir")
+    assert result.returncode == 2
+
+
+def test_syntax_error_reported_as_parse_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    result = run_cli(str(bad), "--no-baseline")
+    assert result.returncode == 1
+    assert "PARSE" in result.stdout
+
+
+def test_baseline_file_is_valid_and_empty():
+    payload = json.loads(
+        (REPO / ".reproflow-baseline.json").read_text())
+    assert payload["findings"] == []
+
+
+def test_tests_policy_exempts_lifecycle_families():
+    findings = analyze_paths([str(REPO / "tests" / "test_core_packet.py")])
+    assert [f for f in findings if f.rule in ("LIF002", "LIF003")] == []

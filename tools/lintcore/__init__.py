@@ -1,0 +1,31 @@
+"""Shared machinery for the repo's static-analysis stages.
+
+Both linters — ``reprolint`` (stage 1: per-file determinism rules) and
+``reproflow`` (stage 2: project-wide semantic rules on a two-pass index)
+— are built on this package:
+
+* :mod:`lintcore.findings`  — the :class:`Finding` record.
+* :mod:`lintcore.suppress`  — per-line ``# <tool>: disable=RULE`` comments.
+* :mod:`lintcore.baseline`  — freeze known findings, fail only on new ones.
+* :mod:`lintcore.walk`      — deterministic ``.py`` file discovery.
+* :mod:`lintcore.policy`    — path-scoped rule exemptions (tests/, tools/).
+* :mod:`lintcore.output`    — text / json / github rendering.
+* :mod:`lintcore.cli`       — the shared command-line driver.
+"""
+
+from lintcore.baseline import filter_new, load_baseline, write_baseline
+from lintcore.findings import Finding
+from lintcore.policy import PathPolicy
+from lintcore.suppress import is_suppressed, parse_suppressions
+from lintcore.walk import iter_python_files
+
+__all__ = [
+    "Finding",
+    "PathPolicy",
+    "filter_new",
+    "is_suppressed",
+    "iter_python_files",
+    "load_baseline",
+    "parse_suppressions",
+    "write_baseline",
+]

@@ -1,0 +1,96 @@
+"""The shared command-line driver both analysis stages wrap.
+
+Exit status: 0 when no (non-baselined) findings, 1 when violations were
+found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import IO, Callable, Dict, List, Optional, Sequence, Tuple
+
+from lintcore.baseline import filter_new, load_baseline, write_baseline
+from lintcore.findings import Finding
+from lintcore.output import FORMATS, emit
+
+LintFn = Callable[[Sequence[str], Optional[Sequence[str]]], List[Finding]]
+
+
+def build_parser(prog: str, description: str,
+                 default_baseline: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {default_baseline} "
+                             "when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="freeze current findings into the baseline "
+                             "file and exit 0")
+    parser.add_argument("--format", default="text", choices=FORMATS,
+                        dest="fmt",
+                        help="output format: text (default), json, or "
+                             "github (Actions annotations)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-finding output")
+    return parser
+
+
+def run(prog: str, description: str,
+        all_rules: Dict[str, Tuple[str, Callable]],
+        rule_table: Callable[[], str],
+        lint_paths: LintFn,
+        default_baseline: str,
+        argv: Optional[List[str]] = None,
+        out: "IO[str]" = sys.stdout,
+        default_paths: Sequence[str] = ("src/",)) -> int:
+    """Parse ``argv`` and drive one lint stage end to end."""
+    args = build_parser(prog, description, default_baseline).parse_args(argv)
+    if args.list_rules:
+        print(rule_table(), file=out)
+        return 0
+
+    paths = args.paths or list(default_paths)
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"{prog}: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    rules: Optional[List[str]] = None
+    if args.select:
+        rules = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in all_rules]
+        if unknown:
+            print(f"{prog}: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    findings: List[Finding] = lint_paths(paths, rules)
+
+    baseline_path = args.baseline or default_baseline
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"{prog}: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}", file=out)
+        return 0
+
+    if not args.no_baseline and os.path.exists(baseline_path):
+        findings = filter_new(findings, load_baseline(baseline_path))
+
+    checked = "all rules" if rules is None else ",".join(rules)
+    summary = f"{prog}: {len(findings)} new finding(s) ({checked})"
+    if args.quiet:
+        print(summary, file=out)
+    else:
+        emit(findings, args.fmt, prog, summary, out)
+    return 1 if findings else 0

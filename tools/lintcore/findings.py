@@ -1,0 +1,23 @@
+"""The one record every rule in every stage produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    path: str
+    rule: str
+    line: int
+    col: int
+    message: str
+    #: stripped source text of the offending line — the stable part of the
+    #: baseline fingerprint (line numbers drift, code rarely does)
+    text: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.rule} {self.message}"

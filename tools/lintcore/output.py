@@ -1,0 +1,56 @@
+"""Finding renderers: ``--format=text|json|github``.
+
+``github`` emits workflow commands that GitHub Actions turns into inline
+PR-diff annotations; ``json`` is a stable machine-readable dump for other
+tooling.  Both include every finding the text format would.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List
+
+from lintcore.findings import Finding
+
+FORMATS = ("text", "json", "github")
+
+
+def _github_escape(value: str) -> str:
+    """Escape per the workflow-command property/data rules."""
+    return (value.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def render_github(finding: Finding) -> str:
+    return (f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}::"
+            f"{_github_escape(finding.message)}")
+
+
+def emit(findings: List[Finding], fmt: str, tool: str, summary: str,
+         out: "IO[str]") -> None:
+    """Write ``findings`` to ``out`` in ``fmt``, ending with ``summary``.
+
+    The summary line is always present on text/github output (CI logs and
+    humans both key off it); json folds it into the payload instead.
+    """
+    if fmt == "json":
+        payload = {
+            "tool": tool,
+            "summary": summary,
+            "count": len(findings),
+            "findings": [
+                {"path": f.path.replace("\\", "/"), "rule": f.rule,
+                 "line": f.line, "col": f.col + 1, "message": f.message,
+                 "text": f.text}
+                for f in findings],
+        }
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return
+    for finding in findings:
+        if fmt == "github":
+            print(render_github(finding), file=out)
+        else:
+            print(finding.render(), file=out)
+    print(summary, file=out)

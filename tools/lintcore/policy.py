@@ -1,0 +1,42 @@
+"""Path-scoped rule exemptions.
+
+The linters cover ``src/``, ``tools/`` and ``tests/``, but not every rule
+makes sense everywhere: tests legitimately build throwaway seeded RNGs and
+assert exact event times; command-line tools legitimately read the host
+clock.  A :class:`PathPolicy` names those exemptions *once*, in code, with
+a rationale — instead of scattering hundreds of inline suppressions or
+silently not linting whole trees (the pre-PR-2 state).
+
+A policy entry ``("tests/", {"DET001", ...})`` exempts the rules for any
+file whose normalized path starts with, or contains, the ``tests/``
+directory component.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+
+class PathPolicy:
+    """Ordered (directory-prefix, exempt-rules) pairs."""
+
+    def __init__(self, entries: Sequence[Tuple[str, Iterable[str]]] = ()):
+        self._entries: Tuple[Tuple[str, FrozenSet[str]], ...] = tuple(
+            (prefix.rstrip("/") + "/", frozenset(rules))
+            for prefix, rules in entries)
+
+    def exempt(self, path: str, rule: str) -> bool:
+        """True when ``rule`` is exempt for ``path``."""
+        posix = path.replace("\\", "/")
+        for prefix, rules in self._entries:
+            if posix.startswith(prefix) or f"/{prefix}" in posix:
+                if rule in rules:
+                    return True
+        return False
+
+    def describe(self) -> str:
+        """Human-readable listing (for ``--list-rules`` style output)."""
+        lines = []
+        for prefix, rules in self._entries:
+            lines.append(f"{prefix}  exempt: {', '.join(sorted(rules))}")
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Per-line suppression comments.
+
+A finding on line *n* is suppressed when line *n* carries a comment of the
+form::
+
+    something()   # reprolint: disable=DET001
+    something()   # reproflow: disable=UNT001,LIF002
+    something()   # reproflow: disable=all
+
+The tool name is part of the syntax: a ``reprolint`` disable never
+silences a ``reproflow`` finding and vice versa, so each exception names
+the stage it excuses.
+
+Suppressions are deliberately line-scoped (the flagged statement's first
+physical line) so that every exception is visible right where the rule
+fires — there is no file- or block-level escape hatch short of the
+baseline file.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Sequence, Set
+
+
+def _disable_re(tool: str) -> "re.Pattern[str]":
+    return re.compile(
+        r"#\s*" + re.escape(tool)
+        + r":\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+def parse_suppressions(lines: Sequence[str],
+                       tool: str = "reprolint") -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the set of rule ids disabled there.
+
+    The special id ``all`` disables every rule on that line.
+    """
+    pattern = _disable_re(tool)
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = pattern.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            suppressions[lineno] = {r for r in rules if r}
+    return suppressions
+
+
+def is_suppressed(suppressions: Dict[int, Set[str]],
+                  lineno: int, rule: str) -> bool:
+    """True if ``rule`` is disabled on ``lineno``."""
+    disabled = suppressions.get(lineno)
+    if not disabled:
+        return False
+    return rule in disabled or "all" in disabled

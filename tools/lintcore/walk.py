@@ -1,0 +1,22 @@
+"""Deterministic Python-file discovery shared by every stage."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            out.append(path)
+    return sorted(set(out))

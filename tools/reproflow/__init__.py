@@ -1,0 +1,37 @@
+"""reproflow — stage 2 of the static-analysis pipeline.
+
+Where :mod:`reprolint` scans one file at a time for determinism hazards,
+reproflow runs a **two-pass, project-wide semantic analysis**:
+
+* pass 1 (:mod:`reproflow.index`) walks every target file and builds a
+  :class:`~reproflow.index.ProjectIndex` — dataclass field schemas with
+  units inferred from the ``_s``/``_ms``/``_bytes``/``_dbm``/``_mw``/
+  ``_hz`` suffix convention, function and method signatures, and the
+  packet/delivery-record class roster;
+* pass 2 (:mod:`reproflow.rules`) runs semantic rule families over each
+  file with the index in hand:
+
+  - **UNT** — unit consistency: mixed-unit arithmetic and comparisons,
+    unit-mismatched call arguments and assignments;
+  - **LIF** — packet lifecycle: mutation after handoff, hand-rolled
+    replicas, delay reads without a ``delivered`` guard;
+  - **CFG** — config schemas: keyword arguments and config-dict keys
+    validated against dataclass schemas across modules.
+
+Findings are suppressed with ``# reproflow: disable=RULE`` comments and
+baselined in ``.reproflow-baseline.json`` (same machinery as reprolint,
+shared via :mod:`lintcore`).
+"""
+
+from reproflow.engine import analyze_paths, analyze_source
+from reproflow.index import ProjectIndex, build_index
+from reproflow.rules import ALL_RULES, rule_table
+
+__all__ = [
+    "ALL_RULES",
+    "ProjectIndex",
+    "analyze_paths",
+    "analyze_source",
+    "build_index",
+    "rule_table",
+]

@@ -1,0 +1,8 @@
+"""``python -m reproflow`` entry point."""
+
+import sys
+
+from reproflow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

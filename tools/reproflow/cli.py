@@ -1,4 +1,4 @@
-"""Command-line front end: ``python -m reprolint src/ tools/ tests/``.
+"""Command-line front end: ``python -m reproflow src/ tools/ tests/``.
 
 Exit status: 0 when no (non-baselined) findings, 1 when violations were
 found, 2 on usage errors.
@@ -12,25 +12,27 @@ from typing import List, Optional, Sequence
 from lintcore import cli as shared
 from lintcore.findings import Finding
 
-from reprolint.engine import lint_paths
-from reprolint.rules import ALL_RULES, rule_table
+from reproflow.engine import analyze_paths
+from reproflow.rules import ALL_RULES, rule_table
 
-DEFAULT_BASELINE = ".reprolint-baseline.json"
+DEFAULT_BASELINE = ".reproflow-baseline.json"
 
 
-def _lint(paths: Sequence[str],
-          rules: Optional[Sequence[str]]) -> List[Finding]:
-    return lint_paths(paths, rules=rules)
+def _analyze(paths: Sequence[str],
+             rules: Optional[Sequence[str]]) -> List[Finding]:
+    return analyze_paths(paths, rules=rules)
 
 
 def main(argv: Optional[List[str]] = None,
          out=sys.stdout) -> int:
     return shared.run(
-        prog="reprolint",
-        description="Determinism lint suite for the DiversiFi simulator.",
+        prog="reproflow",
+        description="Project-wide semantic analysis (units, packet "
+                    "lifecycle, config schemas) for the DiversiFi "
+                    "simulator.",
         all_rules=ALL_RULES,
         rule_table=rule_table,
-        lint_paths=_lint,
+        lint_paths=_analyze,
         default_baseline=DEFAULT_BASELINE,
         argv=argv,
         out=out)

@@ -1,0 +1,121 @@
+"""Two-pass driver: parse everything once, index, then analyze.
+
+``analyze_paths`` always folds ``src/`` into the pass-1 index (when it
+exists) even if only a subset of files was asked for — cross-module
+resolution is the whole point, and a ``Packet`` constructed in a test
+must still be checked against the schema defined in ``src/repro/core``.
+PARSE and rule findings are only *reported* for the files actually
+requested.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from lintcore.findings import Finding
+from lintcore.policy import PathPolicy
+from lintcore.suppress import is_suppressed, parse_suppressions
+from lintcore.walk import iter_python_files
+
+from reproflow.index import ProjectIndex, build_index
+from reproflow.policy import DEFAULT_POLICY
+from reproflow.rules import ALL_RULES, ScopeAnalyzer
+
+__all__ = ["Finding", "analyze_paths", "analyze_source"]
+
+
+def _parse(source: str, path: str
+           ) -> Tuple[Optional[ast.Module], Optional[Finding]]:
+    try:
+        return ast.parse(source, filename=path), None
+    except SyntaxError as exc:
+        return None, Finding(path=path, rule="PARSE", line=exc.lineno or 1,
+                             col=(exc.offset or 1) - 1,
+                             message=f"syntax error: {exc.msg}", text="")
+
+
+def _analyze_tree(path: str, tree: ast.Module, source: str,
+                  index: ProjectIndex,
+                  rules: Optional[Sequence[str]]) -> List[Finding]:
+    lines = source.splitlines()
+    suppressions = parse_suppressions(lines, tool="reproflow")
+    selected = set(rules) if rules is not None else set(ALL_RULES)
+    findings: List[Finding] = []
+    for lineno, col, rule_id, message in ScopeAnalyzer(path, index).analyze(tree):
+        if rule_id not in selected:
+            continue
+        if is_suppressed(suppressions, lineno, rule_id):
+            continue
+        text = lines[lineno - 1].strip() if lineno <= len(lines) else ""
+        findings.append(Finding(path=path, rule=rule_id, line=lineno,
+                                col=col, message=message, text=text))
+    return findings
+
+
+def analyze_source(source: str, path: str,
+                   rules: Optional[Sequence[str]] = None,
+                   extra: Optional[Dict[str, str]] = None) -> List[Finding]:
+    """Analyze one file's source text (unit-test entry point).
+
+    ``extra`` maps path -> source for additional modules that should be
+    part of the pass-1 index (schemas defined "elsewhere") without being
+    analyzed themselves.
+    """
+    tree, parse_error = _parse(source, path)
+    if parse_error is not None:
+        return [parse_error]
+    assert tree is not None
+    trees: Dict[str, ast.Module] = {path: tree}
+    for extra_path, extra_source in (extra or {}).items():
+        extra_tree, _ = _parse(extra_source, extra_path)
+        if extra_tree is not None:
+            trees[extra_path] = extra_tree
+    index = build_index(trees)
+    findings = _analyze_tree(path, tree, source, index, rules)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_paths(paths: Iterable[str],
+                  rules: Optional[Sequence[str]] = None,
+                  policy: Optional[PathPolicy] = DEFAULT_POLICY
+                  ) -> List[Finding]:
+    """Analyze every ``.py`` file under ``paths`` against a project-wide
+    index that always includes ``src/`` when present."""
+    targets = list(iter_python_files(paths))
+    index_files = list(targets)
+    if os.path.isdir("src"):
+        seen = set(targets)
+        index_files += [p for p in iter_python_files(["src"])
+                        if p not in seen]
+
+    sources: Dict[str, str] = {}
+    trees: Dict[str, ast.Module] = {}
+    parse_findings: List[Finding] = []
+    target_set = set(targets)
+    for path in index_files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources[path] = handle.read()
+        except OSError:
+            continue
+        tree, parse_error = _parse(sources[path], path)
+        if tree is not None:
+            trees[path] = tree
+        elif parse_error is not None and path in target_set:
+            parse_findings.append(parse_error)
+
+    index = build_index(trees)
+    findings = list(parse_findings)
+    for path in targets:
+        if path not in trees:
+            continue
+        findings.extend(
+            _analyze_tree(path, trees[path], sources[path], index, rules))
+    if policy is not None:
+        findings = [f for f in findings
+                    if not policy.exempt(f.path, f.rule)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

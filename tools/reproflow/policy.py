@@ -1,0 +1,27 @@
+"""Path-scoped rule exemptions for the project-wide stage.
+
+Rationale per entry:
+
+``tests/``
+    * LIF002 — tests deliberately build packets field-by-field to pin
+      down exact constructor behaviour (including tests *about*
+      ``copy_for_link`` itself); demanding ``copy_for_link`` there would
+      invert the point of the test.
+    * LIF003 — tests assert on ``delay``/``arrival_time`` of packets
+      they *know* were delivered (they arranged the loss pattern); a
+      ``delivered`` guard would only obscure the assertion.
+
+``tools/``
+    is analysis tooling, not simulation code; it has no packets,
+    records, or unit-suffixed schemas of its own, so no exemptions are
+    needed — the families simply have nothing to bite on.  Kept here as
+    an explicit (empty) statement of that decision.
+"""
+
+from __future__ import annotations
+
+from lintcore.policy import PathPolicy
+
+DEFAULT_POLICY = PathPolicy((
+    ("tests/", ("LIF002", "LIF003")),
+))

@@ -1,0 +1,618 @@
+"""Pass 2: the semantic rule families.
+
+Every rule runs per-file but reasons with the whole-project
+:class:`~reproflow.index.ProjectIndex` in hand, so a ``_ms`` expression
+flowing into a ``_s`` dataclass field *defined three modules away* is
+still caught.
+
+==========  ============================  ========================================
+id          name                          what it flags
+==========  ============================  ========================================
+UNT001      mixed-unit-expression         arithmetic/comparison between two
+                                          different unit-suffixed quantities
+                                          (``x_ms + y_s``, ``a_dbm < b_mw``)
+UNT002      unit-mismatched-argument      a unit-suffixed expression passed to a
+                                          parameter or dataclass field whose
+                                          suffix names a different unit, at any
+                                          call site project-wide
+UNT003      unit-mismatched-assignment    assigning a known ``_ms`` quantity to a
+                                          ``_s``-suffixed name (or any other
+                                          cross-unit binding)
+LIF001      packet-mutated-after-handoff  a ``Packet`` attribute written after
+                                          the object was handed to a queue, link
+                                          or scheduler — the receiver sees the
+                                          mutation
+LIF002      hand-rolled-replica           ``Packet(seq=p.seq, send_time=
+                                          p.send_time, ...)`` instead of
+                                          ``p.copy_for_link(...)`` — silently
+                                          drops fields added later
+LIF003      unguarded-delay-read          ``record.delay`` / ``.arrival_time``
+                                          read without a ``delivered`` guard or
+                                          NaN check — NaN propagates into
+                                          quality scores
+CFG001      unknown-keyword               keyword argument that matches no field
+                                          of the resolved dataclass / parameter
+                                          of the resolved function
+CFG002      config-dict-key-mismatch      dict literal spread (``**cfg``) into a
+                                          known constructor with keys outside
+                                          the schema
+==========  ============================  ========================================
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from reproflow.index import ClassSchema, FuncSchema, ProjectIndex
+from reproflow.units import UnitInferrer, unit_of_identifier
+
+RawFinding = Tuple[int, int, str, str]   # (lineno, col, rule, message)
+
+#: callee names that transfer ownership of a packet to another component
+_HANDOFF_NAMES = frozenset({
+    "send", "enqueue", "push", "put", "append", "appendleft", "transmit",
+    "ingress", "forward", "deliver", "attach", "call_at", "call_in",
+    "schedule", "sink", "emit", "dispatch", "on_receive", "wired_arrival",
+    "replica_arrival", "record_arrival", "handoff", "submit", "receive",
+})
+
+#: calls that acknowledge NaN explicitly (count as a delay guard)
+_NAN_GUARDS = frozenset({
+    "isnan", "isfinite", "nan_to_num", "nanmean", "nanmedian", "nanmax",
+    "nanmin", "notna", "isfinite_mask",
+})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ClassDef)
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _last_segment(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _walk_pruned(node: ast.AST):
+    """Yield ``node`` and descendants, not descending into nested scopes."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def _iter_scope_statements(body: Sequence[ast.stmt]):
+    """Statements of one scope in source order, entering control flow but
+    not nested function/class scopes."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, _SCOPE_NODES):
+            continue
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                yield from _iter_scope_statements(inner)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _iter_scope_statements(handler.body)
+
+
+@dataclass
+class _Scope:
+    """One analysis scope: the module body or one function body."""
+
+    body: Sequence[ast.stmt]
+    name: str = "<module>"
+    enclosing_class: Optional[str] = None
+    is_nested: bool = False
+    node: Optional[ast.AST] = None
+
+
+def _collect_scopes(tree: ast.Module) -> List[_Scope]:
+    scopes = [_Scope(body=tree.body)]
+
+    def visit(node: ast.AST, enclosing_class: Optional[str],
+              nested: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(_Scope(body=child.body, name=child.name,
+                                     enclosing_class=enclosing_class,
+                                     is_nested=nested, node=child))
+                visit(child, enclosing_class, True)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, child.name, nested)
+            else:
+                visit(child, enclosing_class, nested)
+
+    visit(tree, None, False)
+    return scopes
+
+
+class ScopeAnalyzer:
+    """Runs every rule family over one file against the project index."""
+
+    def __init__(self, path: str, index: ProjectIndex):
+        self.path = path
+        self.index = index
+        self.findings: List[RawFinding] = []
+        #: names this module binds to *something else* — ``import x as y``
+        #: / ``from m import f as g`` aliases make the local name mean a
+        #: different symbol than the project-wide index entry of the same
+        #: name, so resolution must not trust them
+        self._aliased: Set[str] = set()
+
+    # -- public entry --------------------------------------------------
+
+    def analyze(self, tree: ast.Module) -> List[RawFinding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.asname and alias.asname != alias.name:
+                        self._aliased.add(alias.asname)
+        for scope in _collect_scopes(tree):
+            self._analyze_scope(scope)
+            if scope.node is not None and not scope.is_nested:
+                self._check_lif003(scope)
+        seen: Set[RawFinding] = set()
+        unique = [f for f in self.findings
+                  if not (f in seen or seen.add(f))]
+        unique.sort()
+        return unique
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            (node.lineno, node.col_offset, rule, message))
+
+    # -- per-scope statement walk --------------------------------------
+
+    def _analyze_scope(self, scope: _Scope) -> None:
+        inferrer = UnitInferrer(
+            report=lambda node, msg: self._emit(node, "UNT001", msg))
+        muted = UnitInferrer(env=inferrer.env)
+        #: packet-tracking state (LIF001)
+        packet_vars: Dict[str, Tuple[int, int]] = {}
+        handed_off: Dict[str, Tuple[int, int]] = {}
+        #: local name -> constructed class (CFG via dataclasses.replace)
+        var_class: Dict[str, str] = {}
+        #: local name -> keys of the dict literal it was bound to
+        var_dict_keys: Dict[str, List[str]] = {}
+
+        for stmt in _iter_scope_statements(scope.body):
+            pos = (stmt.lineno, stmt.col_offset)
+            if isinstance(stmt, ast.Assign):
+                value_unit = inferrer.infer(stmt.value)
+                for target in stmt.targets:
+                    self._handle_assign_target(
+                        target, stmt.value, value_unit, inferrer,
+                        packet_vars, handed_off, var_class, var_dict_keys)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value_unit = inferrer.infer(stmt.value)
+                self._handle_assign_target(
+                    stmt.target, stmt.value, value_unit, inferrer,
+                    packet_vars, handed_off, var_class, var_dict_keys)
+            elif isinstance(stmt, ast.AugAssign):
+                target_unit = muted.infer(stmt.target)
+                value_unit = inferrer.infer(stmt.value)
+                if isinstance(stmt.op, (ast.Add, ast.Sub)) \
+                        and target_unit and value_unit \
+                        and target_unit != value_unit \
+                        and {target_unit, value_unit} != {"dbm", "db"}:
+                    self._emit(stmt, "UNT001",
+                               f"mixed-unit in-place arithmetic: "
+                               f"'{target_unit}' op '{value_unit}'")
+                self._check_mutation(stmt.target, packet_vars, handed_off,
+                                     pos)
+            else:
+                for expr in self._expression_roots(stmt):
+                    inferrer.infer(expr)
+            # Call-site families run over every call in the statement.
+            for node in _walk_pruned(stmt):
+                if isinstance(node, ast.Call):
+                    self._check_call(node, muted, scope, var_class,
+                                     var_dict_keys)
+                    self._note_handoff(node, packet_vars, handed_off)
+
+    def _expression_roots(self, stmt: ast.stmt) -> List[ast.expr]:
+        roots: List[ast.expr] = []
+        for attr in ("value", "test", "iter", "exc", "msg"):
+            node = getattr(stmt, attr, None)
+            if isinstance(node, ast.expr):
+                roots.append(node)
+        for item in getattr(stmt, "items", ()) or ():
+            roots.append(item.context_expr)
+        return roots
+
+    # -- assignments (UNT003 + bookkeeping) ----------------------------
+
+    def _handle_assign_target(self, target: ast.AST, value: ast.expr,
+                              value_unit: Optional[str],
+                              inferrer: UnitInferrer,
+                              packet_vars: Dict[str, Tuple[int, int]],
+                              handed_off: Dict[str, Tuple[int, int]],
+                              var_class: Dict[str, str],
+                              var_dict_keys: Dict[str, List[str]]) -> None:
+        pos = (target.lineno, target.col_offset)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._handle_assign_target(
+                    element, value, None, inferrer, packet_vars,
+                    handed_off, var_class, var_dict_keys)
+            return
+        if isinstance(target, ast.Attribute):
+            self._check_target_unit(target, target.attr, value_unit)
+            self._check_mutation(target, packet_vars, handed_off, pos)
+            return
+        if isinstance(target, ast.Subscript):
+            # d["key"] = v extends a tracked dict literal's key set
+            if isinstance(target.value, ast.Name) \
+                    and target.value.id in var_dict_keys \
+                    and isinstance(target.slice, ast.Constant) \
+                    and isinstance(target.slice.value, str):
+                var_dict_keys[target.value.id].append(target.slice.value)
+            return
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        self._check_target_unit(target, name, value_unit)
+        inferrer.learn(target, value_unit)
+        # rebinding invalidates any prior tracking
+        packet_vars.pop(name, None)
+        handed_off.pop(name, None)
+        var_class.pop(name, None)
+        var_dict_keys.pop(name, None)
+        if isinstance(value, ast.Call):
+            callee = _last_segment(value.func)
+            if callee in self.index.packet_classes \
+                    or callee == "copy_for_link":
+                packet_vars[name] = pos
+            if callee is not None and callee in self.index.classes:
+                var_class[name] = callee
+        elif isinstance(value, ast.Dict):
+            keys = [k.value for k in value.keys
+                    if isinstance(k, ast.Constant)
+                    and isinstance(k.value, str)]
+            if len(keys) == len(value.keys):
+                var_dict_keys[name] = keys
+
+    def _check_target_unit(self, node: ast.AST, name: str,
+                           value_unit: Optional[str]) -> None:
+        target_unit = unit_of_identifier(name)
+        if target_unit and value_unit and target_unit != value_unit \
+                and {target_unit, value_unit} != {"dbm", "db"}:
+            self._emit(node, "UNT003",
+                       f"assigning a '{value_unit}' quantity to "
+                       f"'{name}' (declared '{target_unit}'); convert "
+                       "explicitly")
+
+    # -- packet lifecycle (LIF001/LIF002) ------------------------------
+
+    def _check_mutation(self, target: ast.AST,
+                        packet_vars: Dict[str, Tuple[int, int]],
+                        handed_off: Dict[str, Tuple[int, int]],
+                        pos: Tuple[int, int]) -> None:
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)):
+            return
+        name = target.value.id
+        off_at = handed_off.get(name)
+        if name in packet_vars and off_at is not None and off_at < pos:
+            self._emit(target, "LIF001",
+                       f"packet '{name}' mutated after handoff at line "
+                       f"{off_at[0]}; the receiver observes this write — "
+                       "copy before mutating")
+
+    def _note_handoff(self, call: ast.Call,
+                      packet_vars: Dict[str, Tuple[int, int]],
+                      handed_off: Dict[str, Tuple[int, int]]) -> None:
+        callee = _last_segment(call.func)
+        if callee not in _HANDOFF_NAMES:
+            return
+        for arg in list(call.args) + [k.value for k in call.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in packet_vars:
+                handed_off.setdefault(
+                    arg.id, (call.lineno, call.col_offset))
+
+    def _check_replica(self, call: ast.Call, scope: _Scope) -> None:
+        callee = _last_segment(call.func)
+        if callee not in self.index.packet_classes:
+            return
+        if scope.name == "copy_for_link" \
+                or scope.enclosing_class in self.index.packet_classes:
+            return   # the blessed implementation itself
+        copied_from: Dict[str, int] = {}
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Attribute) \
+                    and value.attr == keyword.arg:
+                base = _dotted(value.value)
+                if base:
+                    copied_from[base] = copied_from.get(base, 0) + 1
+        for base, count in copied_from.items():
+            if count >= 2:
+                self._emit(call, "LIF002",
+                           f"hand-rolled replica copying {count} fields "
+                           f"from '{base}'; use "
+                           f"'{base}.copy_for_link(...)' so new fields "
+                           "are never silently dropped")
+
+    # -- call sites (UNT002 / CFG001 / CFG002 / LIF002) ----------------
+
+    def _check_call(self, call: ast.Call, muted: UnitInferrer,
+                    scope: _Scope, var_class: Dict[str, str],
+                    var_dict_keys: Dict[str, List[str]]) -> None:
+        self._check_replica(call, scope)
+        callee = _last_segment(call.func)
+        if callee is None:
+            return
+        if isinstance(call.func, ast.Name) \
+                and (callee in self._aliased
+                     or callee in _scope_params(scope)):
+            return   # locally rebound name: the index entry is a stranger
+        if callee == "replace":
+            self._check_replace(call, var_class)
+        cls = self.index.resolve_class(callee)
+        if cls is not None:
+            self._check_constructor(call, cls, muted, var_dict_keys)
+            return
+        if callee in self.index.classes:
+            return   # ambiguous class: never guess
+        func = None
+        if isinstance(call.func, ast.Name):
+            func = self.index.resolve_function(callee)
+        elif isinstance(call.func, ast.Attribute):
+            # Attribute calls resolve through the method table only:
+            # `np.mean(...)` must not hit a project function named
+            # `mean` just because the last segment matches.
+            func = self.index.resolve_method(callee)
+        if func is not None:
+            self._check_function_call(call, func, muted)
+
+    def _check_constructor(self, call: ast.Call, cls: ClassSchema,
+                           muted: UnitInferrer,
+                           var_dict_keys: Dict[str, List[str]]) -> None:
+        fields = self.index.constructor_fields(cls)
+        is_open = self.index.constructor_is_open(cls)
+        order = cls.order
+        self._check_positional_units(call, [(name, fields.get(name))
+                                            for name in order], muted,
+                                     f"field of {cls.name}")
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                self._check_dict_spread(call, keyword.value, cls, fields,
+                                        is_open, var_dict_keys)
+                continue
+            if keyword.arg not in fields:
+                if not is_open:
+                    hint = _closest(keyword.arg, fields)
+                    self._emit(keyword.value, "CFG001",
+                               f"unknown keyword '{keyword.arg}' for "
+                               f"{cls.name}{hint}")
+                continue
+            self._check_kwarg_unit(keyword, fields[keyword.arg],
+                                   f"field '{keyword.arg}' of {cls.name}",
+                                   muted)
+
+    def _check_function_call(self, call: ast.Call, func: FuncSchema,
+                             muted: UnitInferrer) -> None:
+        self._check_positional_units(
+            call, [(p.name, p.unit) for p in func.positional], muted,
+            f"parameter of {func.name}()")
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            if keyword.arg not in func.param_units:
+                if not func.has_var_keyword and not func.is_method:
+                    hint = _closest(keyword.arg, func.param_units)
+                    self._emit(keyword.value, "CFG001",
+                               f"unknown keyword '{keyword.arg}' for "
+                               f"{func.name}(){hint}")
+                continue
+            self._check_kwarg_unit(
+                keyword, func.param_units[keyword.arg],
+                f"parameter '{keyword.arg}' of {func.name}()", muted)
+
+    def _check_positional_units(self, call: ast.Call,
+                                params: List[Tuple[str, Optional[str]]],
+                                muted: UnitInferrer, where: str) -> None:
+        if any(isinstance(arg, ast.Starred) for arg in call.args):
+            return
+        for arg, (param_name, param_unit) in zip(call.args, params):
+            if param_unit is None:
+                continue
+            arg_unit = muted.infer(arg)
+            if arg_unit is not None and arg_unit != param_unit:
+                self._emit(arg, "UNT002",
+                           f"'{arg_unit}' expression passed to "
+                           f"'{param_name}' ({where}) which expects "
+                           f"'{param_unit}'")
+
+    def _check_kwarg_unit(self, keyword: ast.keyword,
+                          param_unit: Optional[str], where: str,
+                          muted: UnitInferrer) -> None:
+        if param_unit is None:
+            return
+        arg_unit = muted.infer(keyword.value)
+        if arg_unit is not None and arg_unit != param_unit:
+            self._emit(keyword.value, "UNT002",
+                       f"'{arg_unit}' expression passed to {where} "
+                       f"which expects '{param_unit}'")
+
+    def _check_replace(self, call: ast.Call,
+                       var_class: Dict[str, str]) -> None:
+        if not call.args or not isinstance(call.args[0], ast.Name):
+            return
+        class_name = var_class.get(call.args[0].id)
+        cls = self.index.resolve_class(class_name) if class_name else None
+        if cls is None:
+            return
+        fields = self.index.constructor_fields(cls)
+        if self.index.constructor_is_open(cls):
+            return
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg not in fields:
+                hint = _closest(keyword.arg, fields)
+                self._emit(keyword.value, "CFG001",
+                           f"unknown keyword '{keyword.arg}' in "
+                           f"replace() of {cls.name}{hint}")
+
+    def _check_dict_spread(self, call: ast.Call, value: ast.expr,
+                           cls: ClassSchema,
+                           fields: Dict[str, Optional[str]],
+                           is_open: bool,
+                           var_dict_keys: Dict[str, List[str]]) -> None:
+        if is_open:
+            return
+        keys: Optional[List[str]] = None
+        if isinstance(value, ast.Dict):
+            literal = [k.value for k in value.keys
+                       if isinstance(k, ast.Constant)
+                       and isinstance(k.value, str)]
+            if len(literal) == len(value.keys):
+                keys = literal
+        elif isinstance(value, ast.Name):
+            keys = var_dict_keys.get(value.id)
+        if keys is None:
+            return
+        for key in keys:
+            if key not in fields:
+                hint = _closest(key, fields)
+                self._emit(value, "CFG002",
+                           f"config dict key '{key}' matches no field of "
+                           f"{cls.name}{hint}")
+
+    # -- LIF003: unguarded delay reads ---------------------------------
+
+    def _check_lif003(self, scope: _Scope) -> None:
+        func = scope.node
+        assert func is not None
+        record_vars: Set[str] = set()
+        guarded: Set[str] = set()
+        reads: List[Tuple[str, ast.Attribute]] = []
+        #: local name -> record var it was derived from (``d = r.delay``)
+        derived: Dict[str, str] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Call):
+                callee = _last_segment(node.value.func)
+                if callee == "transmit" \
+                        or callee in self.index.record_classes:
+                    record_vars.add(node.targets[0].id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and isinstance(node.target, ast.Name) \
+                    and isinstance(node.iter, ast.Call) \
+                    and _last_segment(node.iter.func) == "records":
+                record_vars.add(node.target.id)
+        if not record_vars:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Attribute) \
+                    and isinstance(node.value.value, ast.Name) \
+                    and node.value.value.id in record_vars \
+                    and node.value.attr in ("delay", "arrival_time"):
+                derived[node.targets[0].id] = node.value.value.id
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id in record_vars:
+                if node.attr == "delivered":
+                    guarded.add(node.value.id)
+                elif node.attr in ("delay", "arrival_time") \
+                        and isinstance(node.ctx, ast.Load):
+                    reads.append((node.value.id, node))
+            elif isinstance(node, ast.Call) \
+                    and _last_segment(node.func) in _NAN_GUARDS:
+                # A NaN check on the record itself, or on a local the
+                # read was stored into, both acknowledge the loss case.
+                for arg in ast.walk(node):
+                    if isinstance(arg, ast.Name):
+                        if arg.id in record_vars:
+                            guarded.add(arg.id)
+                        elif arg.id in derived:
+                            guarded.add(derived[arg.id])
+        for name, node in reads:
+            if name not in guarded:
+                self._emit(node, "LIF003",
+                           f"'{name}.{node.attr}' read without a "
+                           f"'{name}.delivered' guard or NaN check; a "
+                           "lost packet makes this NaN and it propagates "
+                           "into downstream aggregates")
+
+
+def _scope_params(scope: _Scope) -> Set[str]:
+    node = scope.node
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return set()
+    args = node.args
+    names = {a.arg for a in list(args.posonlyargs) + list(args.args)
+             + list(args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _closest(name: str, candidates: Dict[str, object]) -> str:
+    matches = difflib.get_close_matches(name, list(candidates), n=1)
+    return f"; did you mean '{matches[0]}'?" if matches else ""
+
+
+#: rule id -> (short name, one-line description)
+ALL_RULES: Dict[str, Tuple[str, str]] = {
+    "UNT001": ("mixed-unit-expression",
+               "Arithmetic or comparison between different units."),
+    "UNT002": ("unit-mismatched-argument",
+               "Unit-suffixed expression passed to a parameter or "
+               "dataclass field of a different unit."),
+    "UNT003": ("unit-mismatched-assignment",
+               "Known-unit value bound to a name suffixed with a "
+               "different unit."),
+    "LIF001": ("packet-mutated-after-handoff",
+               "Packet attribute written after the packet was handed to "
+               "a queue, link or scheduler."),
+    "LIF002": ("hand-rolled-replica",
+               "Packet replica built field-by-field instead of "
+               "copy_for_link()."),
+    "LIF003": ("unguarded-delay-read",
+               "DeliveryRecord delay/arrival_time read without a "
+               "delivered guard or NaN check."),
+    "CFG001": ("unknown-keyword",
+               "Keyword argument matching no field/parameter of the "
+               "resolved schema."),
+    "CFG002": ("config-dict-key-mismatch",
+               "Config dict spread into a constructor with keys outside "
+               "the schema."),
+}
+
+
+def rule_table() -> str:
+    """Human-readable rule listing (``--list-rules``)."""
+    width = max(len(rule_id) for rule_id in ALL_RULES)
+    lines = []
+    for rule_id in sorted(ALL_RULES):
+        name, summary = ALL_RULES[rule_id]
+        lines.append(f"{rule_id.ljust(width)}  {name.ljust(28)} {summary}")
+    return "\n".join(lines)

@@ -1,32 +1,26 @@
-"""File walking, rule dispatch, and suppression filtering."""
+"""File walking, rule dispatch, and suppression filtering (stage 1).
+
+The heavy lifting — findings, suppressions, baselines, walking, output —
+lives in :mod:`lintcore`; this module keeps reprolint's public API
+(``lint_source`` / ``lint_file`` / ``lint_paths``) and wires the stage-1
+rule set and path policy into it.
+"""
 
 from __future__ import annotations
 
 import ast
-import os
-from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from lintcore.findings import Finding
+from lintcore.policy import PathPolicy
+from lintcore.suppress import is_suppressed, parse_suppressions
+from lintcore.walk import iter_python_files
+
+from reprolint.policy import DEFAULT_POLICY
 from reprolint.rules import ALL_RULES, FileInfo
-from reprolint.suppress import is_suppressed, parse_suppressions
 
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint violation."""
-
-    path: str
-    rule: str
-    line: int
-    col: int
-    message: str
-    #: stripped source text of the offending line — the stable part of the
-    #: baseline fingerprint (line numbers drift, code rarely does)
-    text: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: " \
-               f"{self.rule} {self.message}"
+__all__ = ["Finding", "iter_python_files", "lint_file", "lint_paths",
+           "lint_source"]
 
 
 def lint_source(source: str, path: str,
@@ -40,7 +34,7 @@ def lint_source(source: str, path: str,
                         col=(exc.offset or 1) - 1,
                         message=f"syntax error: {exc.msg}", text="")]
     lines = source.splitlines()
-    suppressions = parse_suppressions(lines)
+    suppressions = parse_suppressions(lines, tool="reprolint")
     info = FileInfo(path, tree)
     findings: List[Finding] = []
     selected = rules if rules is not None else sorted(ALL_RULES)
@@ -57,32 +51,23 @@ def lint_source(source: str, path: str,
 
 
 def lint_file(path: str,
-              rules: Optional[Sequence[str]] = None) -> List[Finding]:
+              rules: Optional[Sequence[str]] = None,
+              policy: Optional[PathPolicy] = DEFAULT_POLICY) -> List[Finding]:
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    return lint_source(source, path, rules=rules)
-
-
-def iter_python_files(paths: Iterable[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    out: List[str] = []
-    for path in paths:
-        if os.path.isdir(path):
-            for root, dirs, files in os.walk(path):
-                dirs[:] = sorted(d for d in dirs
-                                 if d not in ("__pycache__", ".git"))
-                for name in sorted(files):
-                    if name.endswith(".py"):
-                        out.append(os.path.join(root, name))
-        else:
-            out.append(path)
-    return sorted(set(out))
+    findings = lint_source(source, path, rules=rules)
+    if policy is not None:
+        findings = [f for f in findings
+                    if not policy.exempt(f.path, f.rule)]
+    return findings
 
 
 def lint_paths(paths: Iterable[str],
-               rules: Optional[Sequence[str]] = None) -> List[Finding]:
+               rules: Optional[Sequence[str]] = None,
+               policy: Optional[PathPolicy] = DEFAULT_POLICY
+               ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths`` (files or directories)."""
     findings: List[Finding] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules=rules))
+        findings.extend(lint_file(path, rules=rules, policy=policy))
     return findings

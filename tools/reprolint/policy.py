@@ -1,0 +1,32 @@
+"""Stage-1 path-scoped exemptions.
+
+``make lint`` runs reprolint over ``src/``, ``tools/`` and ``tests/``.
+The determinism rules encode invariants of *simulation* code; applied
+verbatim to tests and developer tooling they would flag idioms that are
+the whole point of those trees, so the exemptions below are granted once,
+with rationale:
+
+* ``tests/``
+    - DET001/DET002: tests legitimately build throwaway seeded RNGs and
+      measure wall-clock time (e.g. performance smoke tests).
+    - DET003: test helpers freely schedule from literal collections.
+    - GEN103: engine unit tests assert *exact* event timestamps they
+      themselves constructed — exactness is the property under test.
+    - GEN105: several tests request the same stream name twice on purpose
+      to prove the router's same-generator semantics.
+* ``tools/``
+    - DET002/DET003: developer tooling runs in real time and schedules
+      nothing on the event heap.
+
+Everything else (mutable defaults, overbroad excepts, slot-less Event
+classes...) applies everywhere, including to the linters themselves.
+"""
+
+from __future__ import annotations
+
+from lintcore.policy import PathPolicy
+
+DEFAULT_POLICY = PathPolicy((
+    ("tests/", ("DET001", "DET002", "DET003", "GEN103", "GEN105")),
+    ("tools/", ("DET002", "DET003")),
+))

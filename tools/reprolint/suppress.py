@@ -1,45 +1,18 @@
-"""Per-line suppression comments.
+"""Suppression comments — shared implementation lives in :mod:`lintcore`.
 
-A finding on line *n* is suppressed when line *n* carries a comment of the
-form::
-
-    something()   # reprolint: disable=DET001
-    something()   # reprolint: disable=DET001,GEN102
-    something()   # reprolint: disable=all
-
-Suppressions are deliberately line-scoped (the flagged statement's first
-physical line) so that every exception is visible right where the rule
-fires — there is no file- or block-level escape hatch short of the
-baseline file.
+reprolint findings are silenced with ``# reprolint: disable=RULE``; a
+``# reproflow: disable=...`` comment never affects stage 1.
 """
 
 from __future__ import annotations
 
-import re
 from typing import Dict, Sequence, Set
 
-_DISABLE_RE = re.compile(
-    r"#\s*reprolint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+from lintcore.suppress import is_suppressed
+from lintcore.suppress import parse_suppressions as _parse
+
+__all__ = ["is_suppressed", "parse_suppressions"]
 
 
 def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """Map 1-based line numbers to the set of rule ids disabled there.
-
-    The special id ``all`` disables every rule on that line.
-    """
-    suppressions: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(lines, start=1):
-        match = _DISABLE_RE.search(line)
-        if match:
-            rules = {part.strip() for part in match.group(1).split(",")}
-            suppressions[lineno] = {r for r in rules if r}
-    return suppressions
-
-
-def is_suppressed(suppressions: Dict[int, Set[str]],
-                  lineno: int, rule: str) -> bool:
-    """True if ``rule`` is disabled on ``lineno``."""
-    disabled = suppressions.get(lineno)
-    if not disabled:
-        return False
-    return rule in disabled or "all" in disabled
+    return _parse(lines, tool="reprolint")

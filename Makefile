@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test lint lint-baseline typecheck sanitize-test bench \
-	bench-full examples docs clean
+	bench-smoke bench-full examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,27 @@ test-output:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s \
 		2>&1 | tee bench_output.txt
+
+# Parallel-runner determinism smoke: the same small artifact executed
+# serially and with --jobs 2 (sanitizer on) must print identical batch
+# digests, and a warm-cache rerun must execute zero simulation runs.
+bench-smoke:
+	@rm -rf .bench-smoke-cache
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig2a --runs 6 \
+		--cache-dir .bench-smoke-cache \
+		| grep -o 'digest=[0-9a-f]*' > .bench-smoke-serial
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig2a --runs 6 \
+		--no-cache --jobs 2 \
+		| grep -o 'digest=[0-9a-f]*' > .bench-smoke-jobs2
+	cmp .bench-smoke-serial .bench-smoke-jobs2
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig2a --runs 6 \
+		--cache-dir .bench-smoke-cache > .bench-smoke-warm
+	grep -q 'executed=0' .bench-smoke-warm
+	grep -o 'digest=[0-9a-f]*' .bench-smoke-warm \
+		| cmp - .bench-smoke-serial
+	@rm -rf .bench-smoke-cache .bench-smoke-serial .bench-smoke-jobs2 \
+		.bench-smoke-warm
+	@echo "bench-smoke: serial, --jobs 2 and warm-cache digests identical"
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s \

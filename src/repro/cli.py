@@ -5,21 +5,27 @@ Usage::
     python -m repro list
     python -m repro fig8                 # default (fast) run counts
     python -m repro fig2a --runs 458     # paper-scale
+    python -m repro fig8 --jobs 4        # parallel over 4 processes
+    python -m repro fig8 --cache-dir ~/.cache/repro   # reuse results
     python -m repro table1 --seed 7
     python -m repro all                  # everything, fast scale
 
 Each command prints the same rows/series the paper reports (the renderers
-in :mod:`repro.analysis.report`).
+in :mod:`repro.analysis.report`).  Commands built on :mod:`repro.runner`
+additionally print a ``[runner: ...]`` telemetry footer with the batch
+digest — identical for serial, ``--jobs N`` and warm-cache executions.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import experiments
+from repro.runner import BatchResult, runner_context
 
 #: command -> (runner(runs, seed) -> result, default runs, description)
 _COMMANDS: Dict[str, Tuple[Callable, Optional[int], str]] = {
@@ -94,21 +100,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run count override (per experiment)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root random seed (default 0)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent runs "
+                             "(default 1 = serial in-process)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed on-disk result cache")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass cached results and recompute")
     return parser
 
 
+def _runner_footer(name: str, batches: List[BatchResult], jobs: int,
+                   out) -> None:
+    """Telemetry for the runner batches a command executed.
+
+    The digest folds the per-batch digests in execution order; it is a
+    pure function of the merged results, so serial, parallel and
+    warm-cache invocations of the same command print the same digest.
+    """
+    if not batches:
+        return
+    total = sum(b.stats.total for b in batches)
+    executed = sum(b.stats.executed for b in batches)
+    cached = sum(b.stats.cache_hits + b.stats.memo_hits for b in batches)
+    digest = hashlib.sha256(
+        "\n".join(b.digest for b in batches).encode("ascii")).hexdigest()
+    print(f"[runner {name}: jobs={jobs} runs={total} executed={executed} "
+          f"cached={cached} digest={digest}]", file=out)
+
+
 def run_command(name: str, runs: Optional[int], seed: int,
-                out=sys.stdout) -> None:
+                out=sys.stdout, jobs: int = 1,
+                cache_dir: Optional[str] = None,
+                no_cache: bool = False) -> None:
     """Execute one experiment and print its rendering."""
     runner, _, description = _COMMANDS[name]
+    batches: List[BatchResult] = []
     # Elapsed wall-clock reporting is the one sanctioned clock read: it
     # never feeds back into simulated behaviour, only into the "[... 3.2s]"
     # status line, so the determinism lint is suppressed explicitly.
     start = time.perf_counter()   # reprolint: disable=DET002
-    result = runner(runs, seed)
+    with runner_context(jobs=jobs, cache_dir=cache_dir,
+                        no_cache=no_cache, on_batch=batches.append):
+        result = runner(runs, seed)
     elapsed = time.perf_counter() - start   # reprolint: disable=DET002
     print(result.render(), file=out)
     print(f"[{name}: {description}; {elapsed:.1f}s]", file=out)
+    _runner_footer(name, batches, jobs, out)
 
 
 def main(argv=None, out=sys.stdout) -> int:
@@ -123,9 +161,13 @@ def main(argv=None, out=sys.stdout) -> int:
     if args.command == "all":
         for name in sorted(_COMMANDS):
             print(f"\n===== {name} =====", file=out)
-            run_command(name, args.runs, args.seed, out=out)
+            run_command(name, args.runs, args.seed, out=out,
+                        jobs=args.jobs, cache_dir=args.cache_dir,
+                        no_cache=args.no_cache)
         return 0
-    run_command(args.command, args.runs, args.seed, out=out)
+    run_command(args.command, args.runs, args.seed, out=out,
+                jobs=args.jobs, cache_dir=args.cache_dir,
+                no_cache=args.no_cache)
     return 0
 
 

@@ -2,9 +2,19 @@
 
 All of Figure 2 and Figures 4–6 share one dataset: N simulated calls over
 the wild scenario mix with full replication recorded on both links (the
-counterpart of the paper's 458-call trace collection).  The dataset is
-rendered once and cached per (n_runs, seed, deltas, mimo) so the figure
-drivers stay cheap to combine.
+counterpart of the paper's 458-call trace collection).
+
+The per-run unit of work is :func:`wild_run_metrics` — render ONE wild
+call and evaluate the full strategy suite on it — executed through
+:mod:`repro.runner`'s map API.  Because every run is independent and
+seeded from ``(root seed, index)``, the batch parallelizes across
+processes (``--jobs``), is content-address cached per run, and merges in
+seed order, so serial and parallel executions produce byte-identical
+figures.  One run's payload carries the superset of metrics the Section
+4 figures need, so Figures 2a/2b/2c/4/5 all hit the same cache entries.
+
+:func:`wild_dataset` (the in-memory ``PairedRun`` tuple) remains for
+tests and ad-hoc analysis of the raw traces.
 """
 
 from __future__ import annotations
@@ -12,13 +22,25 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
-from repro.analysis.bursts import burst_histogram, burst_stats
+from repro.analysis.bursts import burst_lengths
 from repro.analysis.cdf import EmpiricalCdf
-from repro.analysis.correlation import mean_correlation_series
+from repro.analysis.correlation import (
+    loss_autocorrelation,
+    loss_crosscorrelation,
+)
 from repro.analysis.report import (
     render_cdf_series,
     render_histogram,
@@ -28,27 +50,43 @@ from repro.analysis.windows import worst_window_loss
 from repro.core import strategies
 from repro.core.config import G711_PROFILE, HIGH_RATE_PROFILE, StreamProfile
 from repro.core.replication import PairedRun
-from repro.scenarios import build_scenario, generate_wild_runs
+from repro.runner import map_task
+from repro.scenarios import build_scenario, generate_wild_run, \
+    generate_wild_runs
 from repro.sim.random import RandomRouter
 from repro.voice.pcr import POOR_MOS_THRESHOLD, score_call
 
 #: the temporal offsets evaluated in Figure 2c
 TEMPORAL_DELTAS = (0.0, 0.1)
 
+#: runner entry point for the shared per-run task
+WILD_TASK = "repro.experiments.section4:wild_run_metrics"
+
+#: strategies scored for PCR (Figure 6) and burst structure (Figure 5)
+_POOR_STRATEGIES = ("stronger", "cross-link")
+_BURST_STRATEGIES = ("stronger", "temporal:0.1", "cross-link")
+
+#: burst histogram buckets (Figure 5 bars)
+_MAX_BURST_BUCKET = 10
+
+
+def _profile_for(highrate: bool,
+                 duration_s: Optional[float]) -> StreamProfile:
+    base = HIGH_RATE_PROFILE if highrate else G711_PROFILE
+    if duration_s is None:
+        return base
+    return StreamProfile(
+        name=base.name, packet_size_bytes=base.packet_size_bytes,
+        inter_packet_spacing_s=base.inter_packet_spacing_s,
+        duration_s=duration_s,
+        max_tolerable_delay_s=base.max_tolerable_delay_s)
+
 
 @lru_cache(maxsize=8)
 def _wild_dataset(n_runs: int, seed: int, deltas: Tuple[float, ...],
                   mimo_branches: int, highrate: bool,
                   duration_s) -> Tuple[PairedRun, ...]:
-    base = HIGH_RATE_PROFILE if highrate else G711_PROFILE
-    if duration_s is None:
-        profile = base
-    else:
-        profile = StreamProfile(
-            name=base.name, packet_size_bytes=base.packet_size_bytes,
-            inter_packet_spacing_s=base.inter_packet_spacing_s,
-            duration_s=duration_s,
-            max_tolerable_delay_s=base.max_tolerable_delay_s)
+    profile = _profile_for(highrate, duration_s)
     runs = generate_wild_runs(n_runs, profile, seed=seed,
                               temporal_deltas=deltas,
                               mimo_branches=mimo_branches)
@@ -60,7 +98,7 @@ def wild_dataset(n_runs: int = 60, seed: int = 0,
                  mimo_branches: int = 1,
                  highrate: bool = False,
                  duration_s: float = None) -> Sequence[PairedRun]:
-    """The shared Section 4 dataset (cached).
+    """The shared Section 4 dataset of raw traces (cached in memory).
 
     ``duration_s`` overrides the call length (the 5 Mbps workload at the
     paper's full 2 minutes is 75k packets per link per call — pass a
@@ -68,6 +106,129 @@ def wild_dataset(n_runs: int = 60, seed: int = 0,
     """
     return _wild_dataset(n_runs, seed, tuple(deltas), mimo_branches,
                          highrate, duration_s)
+
+
+# ---------------------------------------------------------------------------
+# the per-run task (the repro.runner unit of work)
+
+def _strategy_suite(deltas: Sequence[float]
+                    ) -> List[Tuple[str, Callable[[PairedRun], Any]]]:
+    """The (payload key, strategy) superset evaluated on every run."""
+    suite: List[Tuple[str, Callable[[PairedRun], Any]]] = [
+        ("cross-link", strategies.cross_link),
+        ("stronger", strategies.stronger),
+        ("better", strategies.better),
+        ("divert", lambda r: strategies.divert(r, window_h=1,
+                                               threshold_t=1)),
+        ("baseline", strategies.baseline),
+    ]
+    for delta in deltas:
+        suite.append((f"temporal:{float(delta)!r}",
+                      lambda r, d=float(delta): strategies.temporal(r, d)))
+    return suite
+
+
+def _burst_contribution(trace) -> Dict[str, Any]:
+    """One call's burst accounting, combinable across runs by summation
+    (all quantities are integer packet counts, so float sums are exact)."""
+    buckets = {str(i): 0.0 for i in range(1, _MAX_BURST_BUCKET + 1)}
+    buckets[f">{_MAX_BURST_BUCKET}"] = 0.0
+    lost, bursty = 0.0, 0.0
+    for length in burst_lengths(trace):
+        key = str(length) if length <= _MAX_BURST_BUCKET \
+            else f">{_MAX_BURST_BUCKET}"
+        buckets[key] += length
+        lost += length
+        if length >= 2:
+            bursty += length
+    return {"buckets": buckets, "lost": lost, "bursty": bursty}
+
+
+def _merge_burst_contributions(
+        contributions: Sequence[Mapping[str, Any]]
+) -> Tuple[Dict[str, float], float, float]:
+    """Per-call averages of summed contributions.
+
+    Buckets are rebuilt in bar order (1..N, >N) because payloads coming
+    back from the runner carry canonical-JSON (lexicographic) key order.
+    """
+    buckets = {str(i): 0.0 for i in range(1, _MAX_BURST_BUCKET + 1)}
+    buckets[f">{_MAX_BURST_BUCKET}"] = 0.0
+    lost, bursty = 0.0, 0.0
+    for contribution in contributions:
+        for bucket, packets in contribution["buckets"].items():
+            buckets[bucket] += packets
+        lost += contribution["lost"]
+        bursty += contribution["bursty"]
+    n_calls = len(contributions)
+    if n_calls:
+        buckets = {bucket: packets / n_calls
+                   for bucket, packets in buckets.items()}
+        lost /= n_calls
+        bursty /= n_calls
+    return buckets, lost, bursty
+
+
+def wild_run_metrics(index: int, *, root_seed: int,
+                     deltas: Sequence[float] = (),
+                     mimo_branches: int = 1,
+                     highrate: bool = False,
+                     duration_s: Optional[float] = None,
+                     scenario: Optional[str] = None,
+                     max_lag: int = 20) -> Dict[str, Any]:
+    """Render wild call ``index`` and evaluate the strategy suite on it.
+
+    Returns the JSON payload the Section 4 figures are assembled from:
+    per-strategy worst-5s-window loss (all figures 2a–2e), poor-call
+    flags (Figure 6), burst contributions (Figure 5), and the loss
+    auto-/cross-correlation curves (Figure 4).
+    """
+    profile = _profile_for(highrate, duration_s)
+    run = generate_wild_run(index, profile, seed=root_seed,
+                            temporal_deltas=tuple(deltas),
+                            mimo_branches=mimo_branches,
+                            scenario=scenario)
+    spacing = run.profile.inter_packet_spacing_s
+    worst: Dict[str, float] = {}
+    poor: Dict[str, bool] = {}
+    bursts: Dict[str, Dict[str, Any]] = {}
+    for name, fn in _strategy_suite(deltas):
+        trace = fn(run)
+        worst[name] = 100.0 * worst_window_loss(
+            trace, window_s=5.0, inter_packet_spacing_s=spacing)
+        if name in _POOR_STRATEGIES:
+            poor[name] = bool(score_call(trace).mos < POOR_MOS_THRESHOLD)
+        if name in _BURST_STRATEGIES:
+            bursts[name] = _burst_contribution(trace)
+    return {
+        "scenario": run.scenario,
+        "worst_window": worst,
+        "poor": poor,
+        "bursts": bursts,
+        "autocorr": loss_autocorrelation(run.trace_a, max_lag).tolist(),
+        "crosscorr": loss_crosscorrelation(run.trace_a, run.trace_b,
+                                           max_lag).tolist(),
+    }
+
+
+def _wild_metrics(n_runs: int, seed: int,
+                  deltas: Sequence[float] = TEMPORAL_DELTAS,
+                  mimo_branches: int = 1,
+                  highrate: bool = False,
+                  duration_s: Optional[float] = None,
+                  scenario: Optional[str] = None,
+                  max_lag: int = 20) -> List[Dict[str, Any]]:
+    """Map :func:`wild_run_metrics` over run indices via the runner."""
+    config = {
+        "root_seed": seed,
+        "deltas": [float(d) for d in deltas],
+        "mimo_branches": mimo_branches,
+        "highrate": highrate,
+        "duration_s": duration_s,
+        "scenario": scenario,
+        "max_lag": max_lag,
+    }
+    return map_task(WILD_TASK, range(n_runs), config)
 
 
 # ---------------------------------------------------------------------------
@@ -94,29 +255,21 @@ class CdfFigure:
             x_label="worst-5s loss %")
 
 
-def _evaluate(runs: Sequence[PairedRun],
-              strategy_fns: Dict[str, Callable[[PairedRun], object]],
-              window_s: float = 5.0) -> Dict[str, List[float]]:
-    out: Dict[str, List[float]] = {name: [] for name in strategy_fns}
-    for run in runs:
-        spacing = run.profile.inter_packet_spacing_s
-        for name, fn in strategy_fns.items():
-            trace = fn(run)
-            out[name].append(100.0 * worst_window_loss(
-                trace, window_s=window_s, inter_packet_spacing_s=spacing))
-    return out
+def _series(rows: Sequence[Dict[str, Any]],
+            labels: Sequence[Tuple[str, str]]) -> Dict[str, List[float]]:
+    """Slice (figure label -> payload key) series out of run payloads."""
+    return {label: [row["worst_window"][key] for row in rows]
+            for label, key in labels}
 
 
 # ------------------------------------------------------------- Figure 2a/b
 
 def run_figure2a(n_runs: int = 60, seed: int = 0) -> CdfFigure:
     """Cross-link replication vs stronger/better link selection."""
-    runs = wild_dataset(n_runs, seed)
-    series = _evaluate(runs, {
-        "cross-link": strategies.cross_link,
-        "stronger": strategies.stronger,
-        "better": strategies.better,
-    })
+    rows = _wild_metrics(n_runs, seed)
+    series = _series(rows, [("cross-link", "cross-link"),
+                            ("stronger", "stronger"),
+                            ("better", "better")])
     return CdfFigure(
         "Figure 2a: CDF of worst-5s loss — replication vs selection",
         series)
@@ -124,11 +277,9 @@ def run_figure2a(n_runs: int = 60, seed: int = 0) -> CdfFigure:
 
 def run_figure2b(n_runs: int = 60, seed: int = 0) -> CdfFigure:
     """Cross-link replication vs Divert (H=1, T=1)."""
-    runs = wild_dataset(n_runs, seed)
-    series = _evaluate(runs, {
-        "cross-link": strategies.cross_link,
-        "divert": lambda r: strategies.divert(r, window_h=1, threshold_t=1),
-    })
+    rows = _wild_metrics(n_runs, seed)
+    series = _series(rows, [("cross-link", "cross-link"),
+                            ("divert", "divert")])
     return CdfFigure(
         "Figure 2b: CDF of worst-5s loss — replication vs fine-grained "
         "selection (Divert)", series)
@@ -138,13 +289,11 @@ def run_figure2b(n_runs: int = 60, seed: int = 0) -> CdfFigure:
 
 def run_figure2c(n_runs: int = 60, seed: int = 0) -> CdfFigure:
     """Cross-link vs temporal replication (delta = 0 and 100 ms)."""
-    runs = wild_dataset(n_runs, seed)
-    series = _evaluate(runs, {
-        "cross-link": strategies.cross_link,
-        "temporal (100ms)": lambda r: strategies.temporal(r, 0.1),
-        "temporal (0ms)": lambda r: strategies.temporal(r, 0.0),
-        "baseline": strategies.baseline,
-    })
+    rows = _wild_metrics(n_runs, seed)
+    series = _series(rows, [("cross-link", "cross-link"),
+                            ("temporal (100ms)", "temporal:0.1"),
+                            ("temporal (0ms)", "temporal:0.0"),
+                            ("baseline", "baseline")])
     return CdfFigure(
         "Figure 2c: CDF of worst-5s loss — cross-link vs temporal "
         "replication", series)
@@ -154,12 +303,10 @@ def run_figure2c(n_runs: int = 60, seed: int = 0) -> CdfFigure:
 
 def run_figure2d(n_runs: int = 44, seed: int = 0) -> CdfFigure:
     """With 802.11ac-style MIMO (2 spatial branches) on every link."""
-    runs = wild_dataset(n_runs, seed, mimo_branches=2)
-    series = _evaluate(runs, {
-        "MIMO + cross-link": strategies.cross_link,
-        "MIMO + stronger": strategies.stronger,
-        "MIMO + better": strategies.better,
-    })
+    rows = _wild_metrics(n_runs, seed, mimo_branches=2)
+    series = _series(rows, [("MIMO + cross-link", "cross-link"),
+                            ("MIMO + stronger", "stronger"),
+                            ("MIMO + better", "better")])
     return CdfFigure(
         "Figure 2d: CDF of worst-5s loss — cross-link on top of MIMO",
         series)
@@ -170,13 +317,11 @@ def run_figure2d(n_runs: int = 44, seed: int = 0) -> CdfFigure:
 def run_figure2e(n_runs: int = 40, seed: int = 0,
                  duration_s: float = 30.0) -> CdfFigure:
     """High-rate (5 Mbps) streams (paper: 80 two-minute runs)."""
-    runs = wild_dataset(n_runs, seed, deltas=(), highrate=True,
-                        duration_s=duration_s)
-    series = _evaluate(runs, {
-        "cross-link": strategies.cross_link,
-        "stronger": strategies.stronger,
-        "better": strategies.better,
-    })
+    rows = _wild_metrics(n_runs, seed, deltas=(), highrate=True,
+                         duration_s=duration_s)
+    series = _series(rows, [("cross-link", "cross-link"),
+                            ("stronger", "stronger"),
+                            ("better", "better")])
     return CdfFigure(
         "Figure 2e: CDF of worst-5s loss — 5 Mbps streams", series)
 
@@ -215,7 +360,11 @@ def _jitter_ms(trace) -> float:
 
 
 def run_figure3(seed: int = 0, max_tries: int = 40) -> Figure3Result:
-    """Find a weak-link run like the paper's example (A ~4%, B ~15%)."""
+    """Find a weak-link run like the paper's example (A ~4%, B ~15%).
+
+    Sequential by design: the search stops at the first qualifying run,
+    so later attempts depend on earlier outcomes (no parallel map).
+    """
     root = RandomRouter(seed)
     best = None
     for attempt in range(max_tries):
@@ -265,10 +414,13 @@ class Figure4Result:
 
 def run_figure4(n_runs: int = 60, seed: int = 0,
                 max_lag: int = 20) -> Figure4Result:
-    runs = wild_dataset(n_runs, seed)
-    pairs = [(run.trace_a, run.trace_b) for run in runs]
-    auto = mean_correlation_series(pairs, max_lag=max_lag, cross=False)
-    cross = mean_correlation_series(pairs, max_lag=max_lag, cross=True)
+    rows = _wild_metrics(n_runs, seed, max_lag=max_lag)
+    if rows:
+        auto = np.mean(np.vstack([row["autocorr"] for row in rows]), axis=0)
+        cross = np.mean(np.vstack([row["crosscorr"] for row in rows]),
+                        axis=0)
+    else:
+        auto = cross = np.zeros(max_lag)
     return Figure4Result(lags=list(range(1, max_lag + 1)),
                          autocorrelation=auto.tolist(),
                          crosscorrelation=cross.tolist())
@@ -295,18 +447,16 @@ class Figure5Result:
 
 
 def run_figure5(n_runs: int = 60, seed: int = 0) -> Figure5Result:
-    runs = wild_dataset(n_runs, seed)
-    fns = {
-        "stronger": strategies.stronger,
-        "temporal (100ms)": lambda r: strategies.temporal(r, 0.1),
-        "cross-link": strategies.cross_link,
-    }
+    rows = _wild_metrics(n_runs, seed)
+    labels = [("stronger", "stronger"),
+              ("temporal (100ms)", "temporal:0.1"),
+              ("cross-link", "cross-link")]
     histograms, stats = {}, {}
-    for name, fn in fns.items():
-        traces = [fn(run) for run in runs]
-        histograms[name] = burst_histogram(traces)
-        s = burst_stats(traces)
-        stats[name] = (s.mean_lost, s.mean_lost_in_bursts)
+    for label, key in labels:
+        contributions = [row["bursts"][key] for row in rows]
+        buckets, lost, bursty = _merge_burst_contributions(contributions)
+        histograms[label] = buckets
+        stats[label] = (lost, bursty)
     return Figure5Result(histograms=histograms, stats=stats)
 
 
@@ -361,15 +511,13 @@ def run_figure6(n_runs_per_scenario: int = 15, seed: int = 0
     pcr: Dict[str, Dict[str, float]] = {}
     all_scores: Dict[str, List[bool]] = {"stronger": [], "cross-link": []}
     for scenario in scenarios:
-        runs = generate_wild_runs(
-            n_runs_per_scenario, G711_PROFILE,
-            seed=seed + zlib.crc32(scenario.encode()) % 1000,
-            scenario=scenario)
+        rows = _wild_metrics(
+            n_runs_per_scenario,
+            seed + zlib.crc32(scenario.encode()) % 1000,
+            deltas=(), scenario=scenario)
         pcr[scenario] = {}
-        for name, fn in (("stronger", strategies.stronger),
-                         ("cross-link", strategies.cross_link)):
-            poors = [score_call(fn(run)).mos < POOR_MOS_THRESHOLD
-                     for run in runs]
+        for name in ("stronger", "cross-link"):
+            poors = [bool(row["poor"][name]) for row in rows]
             pcr[scenario][name] = 100.0 * float(np.mean(poors))
             all_scores[name].extend(poors)
     overall = {name: 100.0 * float(np.mean(vals))

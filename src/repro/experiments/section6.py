@@ -8,17 +8,22 @@ seed/location, the same channel statistics are evaluated under
 Figure 10 runs paired TCP sessions (DiversiFi on vs off); Table 3 and the
 Section 6.4 sweep run controlled switch micro-benchmarks against the AP
 and the middlebox.
+
+Each driver's per-seed unit of work is a module-level task function
+(:func:`office_run_metrics`, :func:`tcp_throughput_metrics`,
+:func:`switch_delay_metrics`, :func:`mbox_retrieval_metrics`) executed
+through :mod:`repro.runner` — so every artifact here parallelizes over
+seeds with ``--jobs``, caches per run, and merges deterministically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.bursts import burst_histogram, burst_stats
 from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.report import (
     render_cdf_series,
@@ -33,10 +38,21 @@ from repro.core.config import (
     StreamProfile,
 )
 from repro.core.controller import SessionResult, run_session
+from repro.experiments.section4 import (
+    _burst_contribution,
+    _merge_burst_contributions,
+)
+from repro.runner import map_configs, map_task
 from repro.scenarios import build_office_pair
 from repro.voice.pcr import POOR_MOS_THRESHOLD, score_call
 
 OFFICE_MODES = ("primary-only", "secondary-only", "diversifi-ap")
+
+#: runner entry points for the Section 6 tasks
+OFFICE_TASK = "repro.experiments.section6:office_run_metrics"
+TCP_TASK = "repro.experiments.section6:tcp_throughput_metrics"
+SWITCH_TASK = "repro.experiments.section6:switch_delay_metrics"
+RETRIEVAL_TASK = "repro.experiments.section6:mbox_retrieval_metrics"
 
 
 @lru_cache(maxsize=4)
@@ -53,8 +69,70 @@ def _office_sessions(n_runs: int, seed0: int
 
 def office_sessions(n_runs: int = 61, seed0: int = 0
                     ) -> Dict[str, Tuple[SessionResult, ...]]:
-    """The shared Section 6 run set (cached)."""
+    """The shared Section 6 raw-session set (cached in memory)."""
     return _office_sessions(n_runs, seed0)
+
+
+# ---------------------------------------------------------------------------
+# per-seed tasks (the repro.runner units of work)
+
+def office_run_metrics(seed: int, *,
+                       modes: Sequence[str] = OFFICE_MODES
+                       ) -> Dict[str, Dict[str, Any]]:
+    """One office location/seed evaluated under every mode.
+
+    The payload carries everything Figures 8/9 and Section 6.3 need, so
+    all three artifacts share one cache entry per seed.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    for mode in modes:
+        result = run_session(build_office_pair, mode=mode,
+                             profile=G711_PROFILE, seed=seed)
+        trace = result.effective_trace()
+        out[mode] = {
+            "worst_window": 100.0 * worst_window_loss(trace),
+            "poor": bool(score_call(trace).mos < POOR_MOS_THRESHOLD),
+            "loss_rate": float(trace.loss_rate),
+            "waste": float(result.wasteful_duplication_rate()),
+            "recovery_switches": int(
+                result.client_stats.recovery_switches),
+            "keepalive_switches": int(
+                result.client_stats.keepalive_switches),
+            "bursts": _burst_contribution(trace),
+        }
+    return out
+
+
+def tcp_throughput_metrics(seed: int) -> Dict[str, float]:
+    """Competing-TCP throughput with DiversiFi on vs off (one seed)."""
+    session_on = run_session(build_office_pair, mode="diversifi-ap",
+                             profile=G711_PROFILE, seed=seed,
+                             with_tcp=True)
+    session_off = run_session(build_office_pair, mode="primary-only",
+                              profile=G711_PROFILE, seed=seed,
+                              with_tcp=True)
+    return {"on": float(session_on.tcp_stats.throughput_mbps),
+            "off": float(session_off.tcp_stats.throughput_mbps)}
+
+
+def switch_delay_metrics(seed: int) -> Dict[str, List[float]]:
+    """One forced switch against the AP and against the middlebox."""
+    ap_switch, ap_total = _measure_switch(seed, use_middlebox=False)
+    mb_switch, mb_total = _measure_switch(seed, use_middlebox=True)
+    return {"ap": [float(ap_switch), float(ap_total)],
+            "mbox": [float(mb_switch), float(mb_total)]}
+
+
+def mbox_retrieval_metrics(seed: int, *,
+                           middlebox_load: int = 0) -> Dict[str, float]:
+    """Retrieval delay through a loaded middlebox (Section 6.4 unit)."""
+    _, total = _measure_switch(seed, use_middlebox=True,
+                               middlebox_load=middlebox_load)
+    return {"total": float(total)}
+
+
+def _office_metrics(n_runs: int, seed0: int) -> List[Dict[str, Any]]:
+    return map_task(OFFICE_TASK, range(seed0, seed0 + n_runs))
 
 
 # ---------------------------------------------------------------- Figure 8
@@ -89,14 +167,13 @@ def _mode_label(mode: str) -> str:
 
 
 def run_figure8(n_runs: int = 61, seed0: int = 0) -> Figure8Result:
-    sessions = office_sessions(n_runs, seed0)
+    rows = _office_metrics(n_runs, seed0)
     worst: Dict[str, List[float]] = {}
     pcr: Dict[str, float] = {}
-    for mode, results in sessions.items():
+    for mode in OFFICE_MODES:
         label = _mode_label(mode)
-        traces = [r.effective_trace() for r in results]
-        worst[label] = [100.0 * worst_window_loss(t) for t in traces]
-        poors = [score_call(t).mos < POOR_MOS_THRESHOLD for t in traces]
+        worst[label] = [row[mode]["worst_window"] for row in rows]
+        poors = [bool(row[mode]["poor"]) for row in rows]
         pcr[label] = 100.0 * float(np.mean(poors))
     return Figure8Result(worst_window=worst, pcr=pcr)
 
@@ -122,14 +199,14 @@ class Figure9Result:
 
 
 def run_figure9(n_runs: int = 61, seed0: int = 0) -> Figure9Result:
-    sessions = office_sessions(n_runs, seed0)
+    rows = _office_metrics(n_runs, seed0)
     histograms, stats = {}, {}
-    for mode, results in sessions.items():
+    for mode in OFFICE_MODES:
         label = _mode_label(mode)
-        traces = [r.effective_trace() for r in results]
-        histograms[label] = burst_histogram(traces)
-        s = burst_stats(traces)
-        stats[label] = (s.mean_lost, s.mean_lost_in_bursts)
+        contributions = [row[mode]["bursts"] for row in rows]
+        buckets, lost, bursty = _merge_burst_contributions(contributions)
+        histograms[label] = buckets
+        stats[label] = (lost, bursty)
     return Figure9Result(histograms=histograms, stats=stats)
 
 
@@ -163,20 +240,19 @@ class OverheadResult:
 
 def run_section63_overhead(n_runs: int = 61, seed0: int = 0
                            ) -> OverheadResult:
-    sessions = office_sessions(n_runs, seed0)
-    primary_losses = [r.effective_trace().loss_rate
-                      for r in sessions["primary-only"]]
-    div = sessions["diversifi-ap"]
-    residual = [r.effective_trace().loss_rate for r in div]
-    waste = [r.wasteful_duplication_rate() for r in div]
+    rows = _office_metrics(n_runs, seed0)
+    primary_losses = [row["primary-only"]["loss_rate"] for row in rows]
+    div = [row["diversifi-ap"] for row in rows]
     return OverheadResult(
         primary_loss_pct=100.0 * float(np.mean(primary_losses)),
-        residual_loss_pct=100.0 * float(np.mean(residual)),
-        wasteful_duplication_pct=100.0 * float(np.mean(waste)),
+        residual_loss_pct=100.0 * float(np.mean(
+            [d["loss_rate"] for d in div])),
+        wasteful_duplication_pct=100.0 * float(np.mean(
+            [d["waste"] for d in div])),
         recovery_switches_per_call=float(np.mean(
-            [r.client_stats.recovery_switches for r in div])),
+            [d["recovery_switches"] for d in div])),
         keepalive_switches_per_call=float(np.mean(
-            [r.client_stats.keepalive_switches for r in div])))
+            [d["keepalive_switches"] for d in div])))
 
 
 # --------------------------------------------------------------- Figure 10
@@ -222,18 +298,10 @@ class Figure10Result:
 
 
 def run_figure10(n_runs: int = 26, seed0: int = 100) -> Figure10Result:
-    on, off = [], []
-    for seed in range(seed0, seed0 + n_runs):
-        session_on = run_session(build_office_pair, mode="diversifi-ap",
-                                 profile=G711_PROFILE, seed=seed,
-                                 with_tcp=True)
-        session_off = run_session(build_office_pair, mode="primary-only",
-                                  profile=G711_PROFILE, seed=seed,
-                                  with_tcp=True)
-        on.append(session_on.tcp_stats.throughput_mbps)
-        off.append(session_off.tcp_stats.throughput_mbps)
-    return Figure10Result(with_diversifi_mbps=on,
-                          without_diversifi_mbps=off)
+    rows = map_task(TCP_TASK, range(seed0, seed0 + n_runs))
+    return Figure10Result(
+        with_diversifi_mbps=[row["on"] for row in rows],
+        without_diversifi_mbps=[row["off"] for row in rows])
 
 
 # ----------------------------------------------------------------- Table 3
@@ -331,15 +399,11 @@ def _measure_switch(seed: int, use_middlebox: bool,
 
 
 def run_table3(n_events: int = 100, seed0: int = 0) -> Table3Result:
-    ap_switch, ap_total = [], []
-    mb_switch, mb_total = [], []
-    for seed in range(seed0, seed0 + n_events):
-        s, t = _measure_switch(seed, use_middlebox=False)
-        ap_switch.append(s)
-        ap_total.append(t)
-        s, t = _measure_switch(seed, use_middlebox=True)
-        mb_switch.append(s)
-        mb_total.append(t)
+    rows = map_task(SWITCH_TASK, range(seed0, seed0 + n_events))
+    ap_switch = [row["ap"][0] for row in rows]
+    ap_total = [row["ap"][1] for row in rows]
+    mb_switch = [row["mbox"][0] for row in rows]
+    mb_total = [row["mbox"][1] for row in rows]
     config = MiddleboxConfig()
     ap_switch_ms = 1000 * float(np.mean(ap_switch))
     ap_total_ms = 1000 * float(np.mean(ap_total))
@@ -383,12 +447,15 @@ def run_section64_scalability(loads: Tuple[int, ...] = (0, 10, 100, 500,
                                                         1000),
                               n_events: int = 20,
                               seed0: int = 0) -> ScalabilityResult:
+    # One flat batch (all loads x all seeds) so a parallel run keeps
+    # every worker busy across the whole sweep, not per-load.
+    items = [(seed, {"middlebox_load": load})
+             for load in loads
+             for seed in range(seed0, seed0 + n_events)]
+    rows = map_configs(RETRIEVAL_TASK, items)
     delays_ms = []
-    for load in loads:
-        totals = []
-        for seed in range(seed0, seed0 + n_events):
-            _, total = _measure_switch(seed, use_middlebox=True,
-                                       middlebox_load=load)
-            totals.append(total)
+    for i, _load in enumerate(loads):
+        totals = [row["total"]
+                  for row in rows[i * n_events:(i + 1) * n_events]]
         delays_ms.append(1000 * float(np.mean(totals)))
     return ScalabilityResult(loads=list(loads), total_delay_ms=delays_ms)

@@ -1,0 +1,116 @@
+"""Content-addressed result caching.
+
+Two layers:
+
+* :class:`ResultCache` — the on-disk store.  One JSON file per spec key
+  under ``<root>/<key[:2]>/<key>.json``; writes go through a temp file in
+  the same directory and an atomic ``os.replace`` so concurrent writers
+  (two ``--jobs`` invocations racing on the same artifact) can never
+  leave a torn entry — the last complete write wins and both are valid.
+  Anything unreadable (truncated JSON, schema drift, a key mismatch from
+  a hand-edited file) is treated as a miss: the entry is deleted and the
+  run recomputed.
+* an in-process memo — spec key -> canonical payload JSON.  This is what
+  lets ``python -m repro all`` share one wild dataset across Figures
+  2a/2b/2c/4/5 the way the old ``lru_cache`` did, without any disk
+  configuration.  Payloads are stored as JSON text and re-parsed on every
+  hit, so callers can never mutate the cached copy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.runner.spec import RunSpec, canonical_json
+
+#: cache entry schema version (bump to invalidate the whole store)
+CACHE_VERSION = 1
+
+_TEMP_COUNTER = itertools.count()
+
+#: process-local memo: spec key -> canonical payload JSON
+_MEMO: Dict[str, str] = {}
+
+
+def memo_get(key: str) -> Optional[str]:
+    return _MEMO.get(key)
+
+
+def memo_put(key: str, payload_json: str) -> None:
+    _MEMO[key] = payload_json
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (tests; long-lived servers)."""
+    _MEMO.clear()
+
+
+class ResultCache:
+    """The on-disk content-addressed store."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Where an entry for ``key`` lives (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> Optional[str]:
+        """Canonical payload JSON for ``spec``, or ``None`` on a miss.
+
+        A corrupted or mismatched entry is deleted and reported as a
+        miss so the run is recomputed and the entry rewritten.
+        """
+        path = self.path_for(spec.key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            entry = json.loads(text)
+            if (not isinstance(entry, dict)
+                    or entry.get("version") != CACHE_VERSION
+                    or entry.get("key") != spec.key
+                    or "payload" not in entry):
+                raise ValueError("cache entry schema mismatch")
+            payload_json = canonical_json(entry["payload"])
+        except (ValueError, TypeError):
+            # Any parse/shape failure means the entry is corrupt; the
+            # recovery is to delete it and recompute the run.
+            self._discard(path)
+            return None
+        return payload_json
+
+    def put(self, spec: RunSpec, payload_json: str,
+            wall_time_s: float) -> None:
+        """Write an entry atomically (temp file + ``os.replace``)."""
+        path = self.path_for(spec.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "key": spec.key,
+            "task": spec.task,
+            "seed": spec.seed,
+            "config": json.loads(spec.config_json),
+            "fingerprint": spec.fingerprint,
+            "wall_time_s": wall_time_s,
+            "payload": json.loads(payload_json),
+        }
+        # Unique-per-writer temp name: concurrent writers never share a
+        # temp file, and os.replace makes the publish atomic on POSIX.
+        temp = path.parent / (
+            f".{spec.key}.{os.getpid()}.{next(_TEMP_COUNTER)}.tmp")
+        temp.write_text(canonical_json(entry), encoding="utf-8")
+        os.replace(temp, path)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing deleters
+            pass

@@ -1,0 +1,276 @@
+"""Batch execution: serial, process-pool, and cached.
+
+:func:`run_batch` takes an ordered sequence of
+:class:`~repro.runner.spec.RunSpec` and returns one
+:class:`~repro.runner.spec.RunResult` per spec **in spec order**,
+regardless of which worker finished first, whether a result came from
+the cache, or whether the pool crashed halfway through and the remainder
+ran serially.  The merged order is what makes the batch digest — and
+therefore every derived figure — identical across execution modes.
+
+Execution strategy per batch:
+
+1. every spec is looked up in the in-process memo and then the on-disk
+   cache (unless ``no_cache``);
+2. the misses run on a ``concurrent.futures`` process pool with the
+   **spawn** start context when ``jobs > 1`` and more than one miss
+   remains (fork would inherit sanitizer digests and any lazily created
+   RNG state — reprolint DET004 bans it project-wide);
+3. a crashed pool (``BrokenProcessPool``) is rebuilt and the unfinished
+   specs resubmitted up to ``retries`` times, after which the remainder
+   falls back to in-process serial execution — the batch always
+   completes with the same results, just slower;
+4. a run exceeding ``timeout_s`` aborts the batch with
+   :class:`RunTimeoutError` (a stuck simulation is a bug, not a retry
+   candidate — the same spec would stick again).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.runner import cache as cache_mod
+from repro.runner.cache import ResultCache
+from repro.runner.context import ProgressEvent, RunnerConfig, active_config
+from repro.runner.spec import (
+    BatchResult,
+    BatchStats,
+    RunResult,
+    RunSpec,
+    batch_digest,
+    canonical_json,
+)
+from repro.runner.worker import execute_spec
+from repro.sim.sanitize import SanitizerError, sanitizer_enabled
+
+
+class RunnerError(RuntimeError):
+    """Base class for batch execution failures."""
+
+
+class RunTimeoutError(RunnerError):
+    """A run exceeded the configured per-run timeout."""
+
+    def __init__(self, spec: RunSpec, timeout_s: float):
+        super().__init__(
+            f"run {spec.task} seed={spec.seed} exceeded {timeout_s:.1f}s")
+        self.spec = spec
+        self.timeout_s = timeout_s
+
+
+class MergeOrderError(SanitizerError):
+    """The merged results do not line up with the submitted specs."""
+
+
+def run_batch(specs: Sequence[RunSpec],
+              config: Optional[RunnerConfig] = None) -> BatchResult:
+    """Execute ``specs`` and return results merged in spec order."""
+    if config is None:
+        config = active_config()
+    sanitize = sanitizer_enabled()
+    stats = BatchStats(total=len(specs), jobs=config.jobs)
+    # Batch wall time is telemetry only (progress lines, CLI footer); it
+    # never feeds back into simulated behaviour.
+    batch_start = time.perf_counter()   # reprolint: disable=DET002
+
+    disk: Optional[ResultCache] = None
+    if config.cache_dir is not None:
+        disk = ResultCache(config.cache_dir)
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    pending: List[Tuple[int, RunSpec]] = []
+    for index, spec in enumerate(specs):
+        hit = _lookup(spec, config, disk, stats)
+        if hit is not None:
+            results[index] = hit
+            _emit_progress(config, stats, hit,
+                           completed=sum(r is not None for r in results))
+        else:
+            pending.append((index, spec))
+
+    if pending:
+        use_pool = config.jobs > 1 and len(pending) > 1
+        if use_pool:
+            pending = _run_pool(pending, results, config, disk, stats)
+        # Serial path: everything left over (jobs=1, a single miss, or
+        # the pool gave up after bounded retries).
+        for index, spec in pending:
+            payload_json, wall = execute_spec(
+                spec.task, spec.config_json, spec.seed)
+            result = RunResult(spec=spec, payload_json=payload_json,
+                               wall_time_s=wall, worker="serial")
+            _record(index, result, results, config, disk, stats)
+
+    merged = _merge(specs, results, sanitize)
+    stats.wall_time_s = time.perf_counter() - batch_start   # reprolint: disable=DET002
+    batch = BatchResult(results=merged, digest=batch_digest(merged),
+                        stats=stats)
+    if config.on_batch is not None:
+        config.on_batch(batch)
+    return batch
+
+
+def map_configs(task: str,
+                items: Sequence[Tuple[int, Mapping[str, Any]]],
+                config: Optional[RunnerConfig] = None) -> List[Any]:
+    """Run ``task`` once per ``(seed, task_config)`` item; payloads in
+    item order."""
+    specs = [RunSpec.build(task, seed, task_config)
+             for seed, task_config in items]
+    return run_batch(specs, config=config).payloads
+
+
+def map_task(task: str, seeds: Iterable[int],
+             task_config: Optional[Mapping[str, Any]] = None,
+             config: Optional[RunnerConfig] = None) -> List[Any]:
+    """Run ``task`` once per seed with a shared config; payloads in seed
+    order.  This is the API the experiment drivers are built on."""
+    shared: Mapping[str, Any] = dict(task_config or {})
+    return map_configs(task, [(seed, shared) for seed in seeds],
+                       config=config)
+
+
+# ------------------------------------------------------------------ internal
+
+def _lookup(spec: RunSpec, config: RunnerConfig,
+            disk: Optional[ResultCache],
+            stats: BatchStats) -> Optional[RunResult]:
+    if config.no_cache:
+        return None
+    if config.memo:
+        memoized = cache_mod.memo_get(spec.key)
+        if memoized is not None:
+            stats.memo_hits += 1
+            return RunResult(spec=spec, payload_json=memoized,
+                             wall_time_s=0.0, cached=True, worker="memo")
+    if disk is not None:
+        payload_json = disk.get(spec)
+        if payload_json is not None:
+            stats.cache_hits += 1
+            if config.memo:
+                cache_mod.memo_put(spec.key, payload_json)
+            return RunResult(spec=spec, payload_json=payload_json,
+                             wall_time_s=0.0, cached=True, worker="disk")
+    return None
+
+
+def _record(index: int, result: RunResult,
+            results: List[Optional[RunResult]], config: RunnerConfig,
+            disk: Optional[ResultCache], stats: BatchStats) -> None:
+    results[index] = result
+    stats.executed += 1
+    stats.run_wall_times_s.append(result.wall_time_s)
+    if config.memo:
+        cache_mod.memo_put(result.spec.key, result.payload_json)
+    if disk is not None:
+        disk.put(result.spec, result.payload_json, result.wall_time_s)
+    _emit_progress(config, stats, result,
+                   completed=sum(r is not None for r in results))
+
+
+def _emit_progress(config: RunnerConfig, stats: BatchStats,
+                   result: RunResult, completed: int) -> None:
+    if config.progress is None:
+        return
+    config.progress(ProgressEvent(
+        task=result.spec.task, seed=result.spec.seed, key=result.spec.key,
+        cached=result.cached, wall_time_s=result.wall_time_s,
+        completed=completed, total=stats.total,
+        cache_hits=stats.cache_hits + stats.memo_hits))
+
+
+def _run_pool(pending: List[Tuple[int, RunSpec]],
+              results: List[Optional[RunResult]],
+              config: RunnerConfig, disk: Optional[ResultCache],
+              stats: BatchStats) -> List[Tuple[int, RunSpec]]:
+    """Execute ``pending`` on a spawn pool.
+
+    Returns the specs that still need the serial fallback (empty on the
+    happy path).  Pool crashes are retried up to ``config.retries``
+    times; pool *creation* failures (sandboxed platforms without working
+    multiprocessing) fall back immediately.
+    """
+    import multiprocessing
+
+    remaining = list(pending)
+    attempt = 0
+    while remaining:
+        try:
+            context = multiprocessing.get_context("spawn")
+            pool = ProcessPoolExecutor(
+                max_workers=min(config.jobs, len(remaining)),
+                mp_context=context)
+        except (OSError, ValueError):
+            return remaining   # pool unavailable: serial fallback
+        stats.pool_used = True
+        futures: Dict[int, "Future[Tuple[str, float]]"] = {}
+        try:
+            for index, spec in remaining:
+                futures[index] = pool.submit(
+                    execute_spec, spec.task, spec.config_json, spec.seed)
+            for index, spec in list(remaining):
+                try:
+                    payload_json, wall = futures[index].result(
+                        timeout=config.timeout_s)
+                except FutureTimeoutError:
+                    _abandon(pool, futures)
+                    assert config.timeout_s is not None
+                    raise RunTimeoutError(spec, config.timeout_s) from None
+                result = RunResult(
+                    spec=spec, payload_json=payload_json, wall_time_s=wall,
+                    attempts=attempt + 1, worker="pool")
+                _record(index, result, results, config, disk, stats)
+                remaining.remove((index, spec))
+        except BrokenProcessPool:
+            attempt += 1
+            stats.retries += 1
+            if attempt > config.retries:
+                return remaining   # bounded retries exhausted: go serial
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+    return []
+
+
+def _abandon(pool: ProcessPoolExecutor,
+             futures: Dict[int, "Future[Tuple[str, float]]"]) -> None:
+    for future in futures.values():
+        future.cancel()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _merge(specs: Sequence[RunSpec],
+           results: Sequence[Optional[RunResult]],
+           sanitize: bool) -> Tuple[RunResult, ...]:
+    """Assemble results in spec order, asserting the determinism
+    contract under ``REPRO_SANITIZE=1``."""
+    merged: List[RunResult] = []
+    for index, (spec, result) in enumerate(zip(specs, results)):
+        if result is None:   # pragma: no cover - internal invariant
+            raise MergeOrderError(f"spec #{index} produced no result")
+        if sanitize:
+            if result.spec.key != spec.key:
+                raise MergeOrderError(
+                    f"result #{index} carries key {result.spec.key[:12]}… "
+                    f"but spec #{index} expects {spec.key[:12]}…; the "
+                    "merge lost seed order")
+            round_trip = canonical_json(result.payload)
+            if round_trip != result.payload_json:
+                raise MergeOrderError(
+                    f"payload for {spec.task} seed={spec.seed} is not "
+                    "canonical-JSON stable; digests would differ between "
+                    "fresh and cached executions")
+        merged.append(result)
+    return tuple(merged)

@@ -234,6 +234,29 @@ def sample_scenario_name(rng, mix: Sequence[ScenarioSpec] = WILD_MIX) -> str:
     return mix[-1].name
 
 
+def generate_wild_run(index: int, profile: StreamProfile,
+                      seed: int = 0,
+                      temporal_deltas: Sequence[float] = (),
+                      mimo_branches: int = 1,
+                      mix: Sequence[ScenarioSpec] = WILD_MIX,
+                      scenario: Optional[str] = None) -> PairedRun:
+    """Run ``index`` of the Section 4 dataset, independently renderable.
+
+    Each run's randomness derives only from ``(seed, index)`` — the
+    forked router never consumes parent state — so run ``index`` of a
+    batch is bit-identical whether rendered alone, serially in a loop,
+    or on a pool worker (the :mod:`repro.runner` unit of work).
+    """
+    root = RandomRouter(seed)
+    run_router = root.fork(f"wild-run-{index}")
+    name = scenario or sample_scenario_name(
+        run_router.stream("scenario.pick"), mix)
+    link_a, link_b = build_scenario(name, run_router, mimo_branches)
+    return render_paired_run(link_a, link_b, profile,
+                             temporal_deltas=temporal_deltas,
+                             scenario=name)
+
+
 def generate_wild_runs(n_runs: int, profile: StreamProfile,
                        seed: int = 0,
                        temporal_deltas: Sequence[float] = (),
@@ -245,18 +268,11 @@ def generate_wild_runs(n_runs: int, profile: StreamProfile,
     ``scenario`` pins every run to one impairment (Figure 6 breakdown);
     otherwise each run draws from ``mix``.
     """
-    root = RandomRouter(seed)
-    runs: List[PairedRun] = []
-    for idx in range(n_runs):
-        run_router = root.fork(f"wild-run-{idx}")
-        name = scenario or sample_scenario_name(
-            run_router.stream("scenario.pick"), mix)
-        link_a, link_b = build_scenario(name, run_router, mimo_branches)
-        run = render_paired_run(link_a, link_b, profile,
-                                temporal_deltas=temporal_deltas,
-                                scenario=name)
-        runs.append(run)
-    return runs
+    return [generate_wild_run(idx, profile, seed=seed,
+                              temporal_deltas=temporal_deltas,
+                              mimo_branches=mimo_branches,
+                              mix=mix, scenario=scenario)
+            for idx in range(n_runs)]
 
 
 def build_office_pair(rng_router: RandomRouter,

@@ -1,10 +1,24 @@
 """Tests for the experiment CLI."""
 
 import io
+import re
 
 import pytest
 
 from repro.cli import _COMMANDS, build_parser, main, run_command
+from repro.runner import clear_memo
+
+
+def strip_timing(text):
+    """Drop the wall-clock status line; everything else is deterministic."""
+    return "\n".join(line for line in text.splitlines()
+                     if not re.search(r"; [0-9.]+s\]$", line))
+
+
+def runner_digest(text):
+    match = re.search(r"digest=([0-9a-f]+)\]", text)
+    assert match, f"no runner footer in output:\n{text}"
+    return match.group(1)
 
 
 def run_cli(argv):
@@ -64,3 +78,52 @@ def test_run_command_prints_timing_footer():
     out = io.StringIO()
     run_command("fig1", None, 0, out=out)
     assert "[fig1:" in out.getvalue()
+
+
+def test_list_and_unknown_command_exit_codes():
+    code, _ = run_cli(["list"])
+    assert code == 0
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli(["definitely-not-a-command"])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli([])
+    assert excinfo.value.code == 2
+
+
+def test_parallel_jobs_output_matches_serial():
+    clear_memo()
+    _, serial = run_cli(["table3", "--runs", "4", "--no-cache"])
+    clear_memo()
+    _, parallel = run_cli(["table3", "--runs", "4", "--no-cache",
+                           "--jobs", "2"])
+    assert runner_digest(serial) == runner_digest(parallel)
+    assert strip_timing(serial).replace("jobs=1", "jobs=2") \
+        == strip_timing(parallel)
+
+
+def test_runner_footer_reports_cache_reuse(tmp_path):
+    clear_memo()
+    _, cold = run_cli(["table3", "--runs", "3",
+                       "--cache-dir", str(tmp_path)])
+    clear_memo()
+    _, warm = run_cli(["table3", "--runs", "3",
+                       "--cache-dir", str(tmp_path)])
+    assert "executed=3 cached=0" in cold
+    assert "executed=0 cached=3" in warm
+    assert runner_digest(cold) == runner_digest(warm)
+    # The rendered table is identical; only the telemetry counters in
+    # the runner footer reflect the cache reuse.
+    drop_footer = lambda s: "\n".join(
+        line for line in strip_timing(s).splitlines()
+        if not line.startswith("[runner"))
+    assert drop_footer(cold) == drop_footer(warm)
+
+
+def test_no_cache_flag_forces_recompute(tmp_path):
+    clear_memo()
+    run_cli(["table3", "--runs", "3", "--cache-dir", str(tmp_path)])
+    clear_memo()
+    _, output = run_cli(["table3", "--runs", "3",
+                         "--cache-dir", str(tmp_path), "--no-cache"])
+    assert "executed=3 cached=0" in output

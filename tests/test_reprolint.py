@@ -71,6 +71,16 @@ FIXTURES = {
                 sim.call_in(0.1, link.poll)
         """,
     ),
+    "DET004": (
+        """
+        import multiprocessing
+        ctx = multiprocessing.get_context("fork")
+        """,
+        """
+        import multiprocessing
+        ctx = multiprocessing.get_context("fork")  # reprolint: disable=DET004
+        """,
+    ),
     "GEN101": (
         """
         def collect(items=[]):
@@ -254,6 +264,34 @@ def test_det003_comprehension_in_scheduler():
             sim.call_in(min(delays), tick)
         """)
     assert rule_ids(findings) == ["DET003"]
+
+
+# ------------------------------------------------------------ DET004
+
+def test_det004_set_start_method_fork():
+    findings = lint("""
+        import multiprocessing as mp
+        mp.set_start_method("fork")
+        """)
+    assert rule_ids(findings) == ["DET004"]
+
+
+def test_det004_pool_without_mp_context():
+    findings = lint("""
+        from concurrent.futures import ProcessPoolExecutor
+        pool = ProcessPoolExecutor(max_workers=4)
+        """)
+    assert rule_ids(findings) == ["DET004"]
+
+
+def test_det004_spawn_context_ok():
+    findings = lint("""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        ctx = multiprocessing.get_context("spawn")
+        pool = ProcessPoolExecutor(max_workers=4, mp_context=ctx)
+        """)
+    assert findings == []
 
 
 # ------------------------------------------------------------ GEN10x

@@ -1,0 +1,347 @@
+"""Tests for the repro.runner subsystem: job model, cache, executor.
+
+The pool tests spawn real worker processes on tasks defined in this
+module, so they extend ``PYTHONPATH`` with the repo root (spawn children
+re-import tasks by module name).
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    BatchResult,
+    ResultCache,
+    RunnerConfig,
+    RunSpec,
+    RunTimeoutError,
+    active_config,
+    batch_digest,
+    canonical_json,
+    clear_memo,
+    code_fingerprint,
+    configure,
+    map_configs,
+    map_task,
+    run_batch,
+    runner_context,
+)
+from repro.runner.worker import TaskResolutionError, execute_spec, \
+    resolve_task
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ADD_TASK = "tests.test_runner:add_task"
+CRASH_TASK = "tests.test_runner:crash_in_worker_task"
+SLEEP_TASK = "tests.test_runner:sleep_task"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+@pytest.fixture()
+def pool_pythonpath(monkeypatch):
+    """Make this module importable from spawned worker processes."""
+    src = REPO_ROOT / "src"
+    monkeypatch.setenv(
+        "PYTHONPATH", f"{src}{os.pathsep}{REPO_ROOT}")
+
+
+def add_task(seed, *, offset=0, label="x"):
+    return {"value": seed + offset, "label": label, "seed": seed}
+
+
+def crash_in_worker_task(seed):
+    # Dies hard in a pool worker; succeeds on the serial fallback path.
+    if multiprocessing.parent_process() is not None:
+        os._exit(3)
+    return {"seed": seed}
+
+
+def sleep_task(seed):
+    time.sleep(1.5)
+    return {"seed": seed}
+
+
+# ------------------------------------------------------------------- spec
+
+def test_spec_key_ignores_config_ordering():
+    a = RunSpec.build(ADD_TASK, 1, {"offset": 2, "label": "y"})
+    b = RunSpec.build(ADD_TASK, 1, {"label": "y", "offset": 2})
+    assert a.key == b.key
+
+
+@pytest.mark.parametrize("other", [
+    RunSpec.build(ADD_TASK, 2, {"offset": 2}),              # seed
+    RunSpec.build(ADD_TASK, 1, {"offset": 3}),              # config
+    RunSpec.build("tests.test_runner:sleep_task", 1,
+                  {"offset": 2}),                            # task
+    RunSpec.build(ADD_TASK, 1, {"offset": 2},
+                  fingerprint="f" * 64),                     # fingerprint
+])
+def test_spec_key_changes_with_any_input(other):
+    base = RunSpec.build(ADD_TASK, 1, {"offset": 2})
+    assert base.key != other.key
+
+
+def test_spec_defaults_to_code_fingerprint():
+    spec = RunSpec.build(ADD_TASK, 0)
+    assert spec.fingerprint == code_fingerprint()
+    assert len(spec.fingerprint) == 64
+
+
+def test_spec_rejects_malformed_task():
+    with pytest.raises(ValueError):
+        RunSpec.build("not-an-entry-point", 0)
+
+
+def test_canonical_json_is_byte_stable():
+    assert canonical_json({"b": 1, "a": [1.5, True]}) \
+        == '{"a":[1.5,true],"b":1}'
+    assert canonical_json({"x": np.int64(3), "y": np.float64(0.5),
+                           "z": np.bool_(True),
+                           "w": np.array([1, 2])}) \
+        == '{"w":[1,2],"x":3,"y":0.5,"z":true}'
+    with pytest.raises(TypeError):
+        canonical_json({"bad": object()})
+
+
+def test_batch_digest_format_and_order_sensitivity():
+    batch = run_batch([RunSpec.build(ADD_TASK, s) for s in (0, 1)])
+    digest, count = batch.digest.rsplit("#", 1)
+    assert count == "2"
+    assert len(digest) == 64
+    reversed_digest = batch_digest(tuple(reversed(batch.results)))
+    assert reversed_digest != batch.digest
+
+
+# ------------------------------------------------------------------ cache
+
+def test_cache_roundtrip_and_layout(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec.build(ADD_TASK, 5, {"offset": 1})
+    assert cache.get(spec) is None
+    cache.put(spec, canonical_json({"value": 6}), wall_time_s=0.1)
+    assert cache.get(spec) == '{"value":6}'
+    path = cache.path_for(spec.key)
+    assert path.parent.name == spec.key[:2]
+    entry = json.loads(path.read_text())
+    assert entry["seed"] == 5 and entry["task"] == ADD_TASK
+
+
+def test_cache_fingerprint_change_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    old = RunSpec.build(ADD_TASK, 5, fingerprint="a" * 64)
+    cache.put(old, canonical_json({"v": 1}), wall_time_s=0.0)
+    new = RunSpec.build(ADD_TASK, 5, fingerprint="b" * 64)
+    assert cache.get(new) is None
+    assert cache.get(old) == '{"v":1}'
+
+
+@pytest.mark.parametrize("corruption", [
+    "not json at all {",
+    '{"version":999,"key":"KEY","payload":{}}',
+    '{"version":1,"key":"wrong","payload":{}}',
+    '{"version":1,"key":"KEY"}',
+])
+def test_cache_corrupted_entry_deleted_and_missed(tmp_path, corruption):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec.build(ADD_TASK, 7)
+    path = cache.path_for(spec.key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(corruption.replace("KEY", spec.key))
+    assert cache.get(spec) is None
+    assert not path.exists()
+
+
+def test_cache_concurrent_writers_never_leave_torn_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec.build(ADD_TASK, 9)
+    payload = canonical_json({"blob": "x" * 4096})
+
+    def hammer():
+        for _ in range(50):
+            cache.put(spec, payload, wall_time_s=0.0)
+            assert cache.get(spec) == payload
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert cache.get(spec) == payload
+    # atomic publishes: no temp files left behind
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+# ----------------------------------------------------------------- worker
+
+def test_resolve_task_errors():
+    with pytest.raises(TaskResolutionError):
+        resolve_task("no-colon")
+    with pytest.raises(TaskResolutionError):
+        resolve_task("no.such.module:fn")
+    with pytest.raises(TaskResolutionError):
+        resolve_task("tests.test_runner:not_a_function")
+
+
+def test_execute_spec_returns_canonical_payload():
+    payload_json, wall = execute_spec(
+        ADD_TASK, canonical_json({"offset": 10}), 2)
+    assert json.loads(payload_json) == {"value": 12, "label": "x",
+                                        "seed": 2}
+    assert wall >= 0.0
+
+
+# --------------------------------------------------------------- executor
+
+def test_map_task_returns_payloads_in_seed_order():
+    payloads = map_task(ADD_TASK, [3, 1, 2], {"offset": 100})
+    assert [p["seed"] for p in payloads] == [3, 1, 2]
+    assert [p["value"] for p in payloads] == [103, 101, 102]
+
+
+def test_map_configs_varies_config_per_item():
+    payloads = map_configs(ADD_TASK, [(0, {"offset": 1}),
+                                      (0, {"offset": 2})])
+    assert [p["value"] for p in payloads] == [1, 2]
+
+
+def test_memo_makes_second_batch_free():
+    specs = [RunSpec.build(ADD_TASK, s) for s in range(4)]
+    first = run_batch(specs)
+    second = run_batch(specs)
+    assert first.stats.executed == 4
+    assert second.stats.executed == 0
+    assert second.stats.memo_hits == 4
+    assert second.digest == first.digest
+    assert second.payloads == first.payloads
+
+
+def test_no_cache_bypasses_memo_and_disk(tmp_path):
+    specs = [RunSpec.build(ADD_TASK, s) for s in range(3)]
+    config = RunnerConfig(cache_dir=tmp_path)
+    run_batch(specs, config=config)
+    rerun = run_batch(specs, config=RunnerConfig(cache_dir=tmp_path,
+                                                 no_cache=True))
+    assert rerun.stats.executed == 3
+    assert rerun.stats.cache_hits == 0 and rerun.stats.memo_hits == 0
+
+
+def test_disk_cache_warm_rerun_executes_nothing(tmp_path):
+    specs = [RunSpec.build(ADD_TASK, s, {"offset": 7}) for s in range(4)]
+    cold = run_batch(specs, config=RunnerConfig(cache_dir=tmp_path))
+    clear_memo()   # fresh process simulation: only the disk survives
+    warm = run_batch(specs, config=RunnerConfig(cache_dir=tmp_path))
+    assert cold.stats.executed == 4
+    assert warm.stats.executed == 0
+    assert warm.stats.cache_hits == 4
+    assert warm.digest == cold.digest
+    assert warm.payloads == cold.payloads
+
+
+def test_disk_cache_invalidated_by_fingerprint_change(tmp_path):
+    config = RunnerConfig(cache_dir=tmp_path)
+    old = [RunSpec.build(ADD_TASK, 0, fingerprint="a" * 64)]
+    run_batch(old, config=config)
+    clear_memo()
+    new = [RunSpec.build(ADD_TASK, 0, fingerprint="b" * 64)]
+    rerun = run_batch(new, config=config)
+    assert rerun.stats.executed == 1
+    assert rerun.stats.cache_hits == 0
+
+
+def test_corrupted_disk_entry_recomputed_and_rewritten(tmp_path):
+    spec = RunSpec.build(ADD_TASK, 1)
+    cache_config = RunnerConfig(cache_dir=tmp_path)
+    run_batch([spec], config=cache_config)
+    clear_memo()
+    path = ResultCache(tmp_path).path_for(spec.key)
+    path.write_text("truncated{")
+    rerun = run_batch([spec], config=cache_config)
+    assert rerun.stats.executed == 1
+    assert json.loads(path.read_text())["key"] == spec.key
+
+
+def test_progress_and_batch_hooks():
+    events = []
+    batches = []
+    config = RunnerConfig(progress=events.append,
+                          on_batch=batches.append)
+    run_batch([RunSpec.build(ADD_TASK, s) for s in range(3)],
+              config=config)
+    assert [e.completed for e in events] == [1, 2, 3]
+    assert all(e.total == 3 and not e.cached for e in events)
+    assert len(batches) == 1 and isinstance(batches[0], BatchResult)
+    assert "3 run(s), 3 executed" in batches[0].stats.summary()
+
+
+def test_runner_config_validation():
+    with pytest.raises(ValueError):
+        RunnerConfig(jobs=0)
+    with pytest.raises(ValueError):
+        RunnerConfig(retries=-1)
+
+
+def test_runner_context_scopes_and_restores():
+    before = active_config()
+    with runner_context(jobs=3, cache_dir="~/somewhere") as config:
+        assert active_config() is config
+        assert config.jobs == 3
+        assert config.cache_dir == Path("~/somewhere").expanduser()
+    assert active_config() is before
+
+
+def test_configure_returns_previous():
+    previous = configure(jobs=2)
+    try:
+        assert active_config().jobs == 2
+    finally:
+        configure(jobs=previous.jobs)
+
+
+# ------------------------------------------------------------ pool / par
+
+def test_pool_matches_serial_payloads_and_digest(pool_pythonpath):
+    specs = [RunSpec.build(ADD_TASK, s, {"offset": 5}) for s in range(6)]
+    serial = run_batch(specs, config=RunnerConfig(no_cache=True))
+    parallel = run_batch(specs, config=RunnerConfig(jobs=2,
+                                                    no_cache=True))
+    assert parallel.stats.pool_used
+    assert parallel.digest == serial.digest
+    assert parallel.payloads == serial.payloads
+    assert all(r.worker == "pool" for r in parallel.results)
+
+
+def test_pool_timeout_aborts_batch(pool_pythonpath):
+    specs = [RunSpec.build(SLEEP_TASK, s) for s in range(2)]
+    config = RunnerConfig(jobs=2, timeout_s=0.2, no_cache=True)
+    with pytest.raises(RunTimeoutError) as excinfo:
+        run_batch(specs, config=config)
+    assert excinfo.value.timeout_s == 0.2
+
+
+def test_pool_crash_falls_back_to_serial(pool_pythonpath):
+    specs = [RunSpec.build(CRASH_TASK, s) for s in range(2)]
+    config = RunnerConfig(jobs=2, retries=0, no_cache=True)
+    batch = run_batch(specs, config=config)
+    assert batch.stats.retries == 1
+    assert [p["seed"] for p in batch.payloads] == [0, 1]
+    assert all(r.worker == "serial" for r in batch.results)
+
+
+def test_sanitize_asserts_merge_contract(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    specs = [RunSpec.build(ADD_TASK, s) for s in range(3)]
+    batch = run_batch(specs)
+    assert batch.digest == run_batch(specs).digest

@@ -41,6 +41,30 @@ def test_event_log_capacity():
     assert list(log)[0].time == 2.0
 
 
+def test_event_log_eviction_scales():
+    # Regression: eviction used list.pop(0) (O(n) per append).  With the
+    # deque-backed log a large overrun stays fast and every query keeps
+    # working on the evicted window.
+    log = EventLog(capacity=100)
+    for i in range(50_000):
+        log.record(float(i), "x", "tick" if i % 2 else "tock", f"n={i}")
+    assert len(log) == 100
+    assert log.dropped == 49_900
+    events = list(log)
+    assert events[0].time == 49_900.0
+    assert events[-1].time == 49_999.0
+    assert log.counts() == {"tick": 50, "tock": 50}
+    assert [e.time for e in log.between(49_997.0, 49_999.0)] \
+        == [49_997.0, 49_998.0, 49_999.0]
+    assert all(e.kind == "tick" for e in log.of_kind("tick"))
+    assert "n=49999" in log.render_timeline(limit=10)
+
+
+def test_event_log_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+
+
 def test_event_log_timeline_renders():
     log = EventLog()
     for i in range(60):

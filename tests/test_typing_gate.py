@@ -1,11 +1,12 @@
-"""Annotation-completeness gate for ``src/repro/core``.
+"""Annotation-completeness gate for the strict packages.
 
-``make typecheck`` runs ``mypy --strict`` over the package, but mypy is
-an optional dev dependency; this test is the always-on proxy that keeps
-the core package's public surface fully annotated, so a strict mypy run
-never regresses silently on machines without it.
+``make typecheck`` runs ``mypy --strict`` over ``repro.core`` and
+``repro.runner``, but mypy is an optional dev dependency; this test is
+the always-on proxy that keeps both packages' public surfaces fully
+annotated, so a strict mypy run never regresses silently on machines
+without it.
 
-Every function and method in ``repro.core`` must annotate every
+Every function and method in a strict package must annotate every
 parameter (``self``/``cls``/``*args``/``**kwargs`` positions included
 once named) and its return type.  Nested helper functions and lambdas
 are exempt — mypy infers those.
@@ -18,9 +19,13 @@ from pathlib import Path
 
 import pytest
 
-CORE = Path(__file__).resolve().parent.parent / "src" / "repro" / "core"
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-CORE_FILES = sorted(CORE.glob("*.py"))
+#: the packages mypy.ini holds to the strict profile
+STRICT_PACKAGES = ("core", "runner")
+
+STRICT_FILES = sorted(path for package in STRICT_PACKAGES
+                      for path in (SRC / package).glob("*.py"))
 
 
 def _module_scope_functions(tree: ast.Module):
@@ -52,12 +57,15 @@ def _missing_annotations(owner: str, func: ast.FunctionDef):
         yield "return type"
 
 
-def test_core_package_exists():
-    assert CORE_FILES, f"no python files under {CORE}"
+def test_strict_packages_exist():
+    for package in STRICT_PACKAGES:
+        assert list((SRC / package).glob("*.py")), \
+            f"no python files under {SRC / package}"
 
 
-@pytest.mark.parametrize("path", CORE_FILES, ids=lambda p: p.name)
-def test_core_functions_fully_annotated(path: Path):
+@pytest.mark.parametrize(
+    "path", STRICT_FILES, ids=lambda p: f"{p.parent.name}/{p.name}")
+def test_strict_functions_fully_annotated(path: Path):
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     problems = []
     for owner, func in _module_scope_functions(tree):

@@ -16,6 +16,14 @@ Rationale per entry:
     records, or unit-suffixed schemas of its own, so no exemptions are
     needed — the families simply have nothing to bite on.  Kept here as
     an explicit (empty) statement of that decision.
+
+``src/repro/runner/``
+    executes simulation tasks but owns no packets and no unit-suffixed
+    schemas (its quantities are ``wall_time_s``/``timeout_s``, uniformly
+    seconds), so it gets no exemptions either: the UNT/LIF/CFG families
+    apply to it in full.  Recorded explicitly because the runner crosses
+    process boundaries — exactly where a silently mismatched keyword or
+    unit would be hardest to debug.
 """
 
 from __future__ import annotations
@@ -24,4 +32,5 @@ from lintcore.policy import PathPolicy
 
 DEFAULT_POLICY = PathPolicy((
     ("tests/", ("LIF002", "LIF003")),
+    ("src/repro/runner/", ()),
 ))

@@ -17,6 +17,15 @@ with rationale:
 * ``tools/``
     - DET002/DET003: developer tooling runs in real time and schedules
       nothing on the event heap.
+* ``src/repro/runner/``
+    - deliberately exempt from NOTHING.  The parallel runner is where
+      determinism is easiest to lose: worker code must draw randomness
+      only through :mod:`repro.sim.random` streams seeded from the spec
+      (DET001), must not read wall clocks except the explicitly
+      suppressed telemetry timers (DET002), and must never use the fork
+      start method (DET004, added with the runner).  The empty entry
+      records that decision so nobody "fixes" runner lint noise with a
+      path exemption instead of fixing the code.
 
 Everything else (mutable defaults, overbroad excepts, slot-less Event
 classes...) applies everywhere, including to the linters themselves.
@@ -29,4 +38,5 @@ from lintcore.policy import PathPolicy
 DEFAULT_POLICY = PathPolicy((
     ("tests/", ("DET001", "DET002", "DET003", "GEN103", "GEN105")),
     ("tools/", ("DET002", "DET003")),
+    ("src/repro/runner/", ()),
 ))

@@ -17,6 +17,11 @@ DET002      wall-clock                     wall/monotonic clock or OS entropy
                                            ``os.urandom``) in simulation code
 DET003      unordered-iteration            iteration over sets inside functions
                                            that schedule events
+DET004      fork-start-method              ``fork`` multiprocessing start method
+                                           (``get_context("fork")``,
+                                           ``set_start_method("fork")``) or a
+                                           ``ProcessPoolExecutor`` without an
+                                           explicit ``mp_context``
 GEN101      mutable-default-arg            ``def f(x=[])`` and friends
 GEN102      overbroad-except               bare ``except:`` / ``except Exception``
 GEN103      float-time-equality            ``==``/``!=`` on simulated timestamps
@@ -232,6 +237,45 @@ def check_det003(tree: ast.Module, info: FileInfo):
 
 
 # ---------------------------------------------------------------------------
+# DET004 — fork start method
+# ---------------------------------------------------------------------------
+
+_START_METHOD_CALLS = {"get_context", "set_start_method"}
+
+
+def check_det004(tree: ast.Module, info: FileInfo):
+    """Forked workers inherit RNG state and sanitizer digests; use spawn.
+
+    A forked child starts as a copy of the parent at fork time — lazily
+    created generators, the in-process memo and the sanitizer's event
+    digest all come along, so worker results can depend on what the
+    parent happened to do first.  The spawn start method re-imports from
+    a clean interpreter.  ``ProcessPoolExecutor`` without an explicit
+    ``mp_context`` silently uses the platform default (fork on older
+    POSIX Pythons)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if not name:
+            continue
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _START_METHOD_CALLS:
+            first = node.args[0] if node.args else None
+            if isinstance(first, ast.Constant) and first.value == "fork":
+                yield (node.lineno, node.col_offset,
+                       f"'{tail}(\"fork\")' inherits parent RNG/sanitizer "
+                       "state into workers; use the spawn start method")
+        elif tail == "ProcessPoolExecutor":
+            if not any(kw.arg == "mp_context" for kw in node.keywords):
+                yield (node.lineno, node.col_offset,
+                       "ProcessPoolExecutor without mp_context uses the "
+                       "platform-default start method (fork on POSIX); "
+                       "pass mp_context=multiprocessing.get_context"
+                       "('spawn')")
+
+
+# ---------------------------------------------------------------------------
 # GEN101 — mutable default arguments
 # ---------------------------------------------------------------------------
 
@@ -398,6 +442,7 @@ ALL_RULES: Dict[str, Tuple[str, Callable]] = {
     "DET001": ("unrouted-rng", check_det001),
     "DET002": ("wall-clock", check_det002),
     "DET003": ("unordered-iteration", check_det003),
+    "DET004": ("fork-start-method", check_det004),
     "GEN101": ("mutable-default-arg", check_gen101),
     "GEN102": ("overbroad-except", check_gen102),
     "GEN103": ("float-time-equality", check_gen103),

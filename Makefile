@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test lint lint-baseline typecheck sanitize-test bench \
-	bench-smoke bench-full examples docs clean
+	bench-smoke bench-full obs-smoke examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -67,6 +67,28 @@ bench-smoke:
 	@rm -rf .bench-smoke-cache .bench-smoke-serial .bench-smoke-jobs2 \
 		.bench-smoke-warm
 	@echo "bench-smoke: serial, --jobs 2 and warm-cache digests identical"
+
+# Metrics-export determinism smoke: the same artifact run serially, with
+# --jobs 2 and from a warm cache (sanitizer on) must export byte-identical
+# --metrics-out JSON — counters, gauges, histograms and span durations
+# merged in spec order regardless of scheduling or cache hits.
+obs-smoke:
+	@rm -rf .obs-smoke-cache
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig8 --runs 3 \
+		--cache-dir .obs-smoke-cache \
+		--metrics-out .obs-smoke-serial.json > /dev/null
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig8 --runs 3 \
+		--no-cache --jobs 2 \
+		--metrics-out .obs-smoke-jobs2.json > /dev/null
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig8 --runs 3 \
+		--cache-dir .obs-smoke-cache \
+		--metrics-out .obs-smoke-warm.json > .obs-smoke-warm-out
+	grep -q 'executed=0' .obs-smoke-warm-out
+	cmp .obs-smoke-serial.json .obs-smoke-jobs2.json
+	cmp .obs-smoke-serial.json .obs-smoke-warm.json
+	@rm -rf .obs-smoke-cache .obs-smoke-serial.json .obs-smoke-jobs2.json \
+		.obs-smoke-warm.json .obs-smoke-warm-out
+	@echo "obs-smoke: serial, --jobs 2 and warm-cache metrics identical"
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s \

@@ -5,6 +5,16 @@ loss rate of the *worst* period, citing evidence that the worst degradation
 in a short call dominates user-perceived quality [38].  Windows are aligned
 to the stream's send times (a 2-minute, 20 ms-spaced call has 24 windows of
 250 packets).
+
+Every window in this module is **half-open**: window ``i`` covers
+``[i * window_s, (i + 1) * window_s)``, so a packet landing exactly on a
+boundary belongs to the *later* window and adjacent windows tile the
+call without double-counting — the same ``[start, end)`` convention as
+:meth:`repro.sim.tracing.EventLog.between` and the
+:class:`repro.obs.registry.Histogram` buckets.  (Index-block slicing in
+:func:`window_loss_rates` has always tiled; the time-based
+:func:`assign_windows` makes the convention explicit for irregular
+timestamps.)
 """
 
 from __future__ import annotations
@@ -41,6 +51,52 @@ def window_loss_rates(trace: Union[LinkTrace, np.ndarray],
         block = losses[start:start + per_window]
         rates.append(float(block.mean()))
     return np.asarray(rates)
+
+
+def assign_windows(times: np.ndarray, window_s: float = 5.0,
+                   start_time: float = 0.0) -> np.ndarray:
+    """Half-open window index for each timestamp.
+
+    A timestamp ``t`` lands in window ``floor((t - start_time) /
+    window_s)``: window ``i`` covers ``[start + i*w, start + (i+1)*w)``,
+    so a packet exactly on a boundary belongs to the later window and
+    no timestamp is ever counted in two adjacent windows.
+    """
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s!r}")
+    times = np.asarray(times, dtype=float)
+    if np.any(times < start_time):
+        raise ValueError("timestamps precede start_time")
+    return np.floor((times - start_time) / window_s).astype(int)
+
+
+def window_loss_rates_timed(times: np.ndarray,
+                            losses: Union[LinkTrace, np.ndarray],
+                            window_s: float = 5.0,
+                            start_time: float = 0.0) -> np.ndarray:
+    """Per-window loss rates with windows cut by *timestamp*.
+
+    Unlike :func:`window_loss_rates` (fixed packet-count blocks), this
+    handles irregular send times: packets are binned by
+    :func:`assign_windows`, empty interior windows report a loss rate
+    of 0.0, and the observation period ends at the last timestamp's
+    window.
+    """
+    loss = _loss_array(losses)
+    times = np.asarray(times, dtype=float)
+    if times.shape != loss.shape:
+        raise ValueError(
+            f"times {times.shape} and losses {loss.shape} differ")
+    if times.size == 0:
+        return np.array([])
+    ids = assign_windows(times, window_s, start_time)
+    n_windows = int(ids.max()) + 1
+    lost = np.bincount(ids, weights=loss, minlength=n_windows)
+    total = np.bincount(ids, minlength=n_windows)
+    rates = np.zeros(n_windows)
+    nonempty = total > 0
+    rates[nonempty] = lost[nonempty] / total[nonempty]
+    return rates
 
 
 def worst_window_loss(trace: Union[LinkTrace, np.ndarray],

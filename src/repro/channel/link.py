@@ -100,7 +100,8 @@ class WifiLink:
         self._mobility = mobility or StaticPosition(Position(10.0, 7.0))
         self._interference = interference or NullInterference()
         self._mac = MacLayer(config.mac,
-                             rng_router.stream(f"{prefix}.mac"))
+                             rng_router.stream(f"{prefix}.mac"),
+                             metric_labels={"link": config.name})
         self._last_shadow_update = 0.0
         # Channel processes require non-decreasing query times, but MAC
         # retry bursts for one packet can overrun the next packet's send

@@ -25,6 +25,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import experiments
+from repro.obs import merge_metrics_json, to_canonical_json
 from repro.runner import BatchResult, runner_context
 
 #: command -> (runner(runs, seed) -> result, default runs, description)
@@ -107,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="content-addressed on-disk result cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass cached results and recompute")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the command's merged metrics as "
+                             "canonical JSON ('-' for stdout); "
+                             "byte-identical across --jobs and cache "
+                             "modes")
     return parser
 
 
@@ -129,10 +135,35 @@ def _runner_footer(name: str, batches: List[BatchResult], jobs: int,
           f"cached={cached} digest={digest}]", file=out)
 
 
+def _metrics_json(batches: List[BatchResult]) -> str:
+    """Canonical JSON of all batch metrics, merged in execution order.
+
+    Batches are appended by the ``on_batch`` hook as the experiment
+    driver issues them, and each batch's results are already in spec
+    order, so the merge order — and therefore the exported bytes — is a
+    pure function of the command, independent of ``--jobs`` and caching.
+    """
+    merged = merge_metrics_json(
+        [result.metrics_json
+         for batch in batches for result in batch.results])
+    return to_canonical_json(merged)
+
+
+def _write_metrics(batches: List[BatchResult], metrics_out: str,
+                   out) -> None:
+    text = _metrics_json(batches) + "\n"
+    if metrics_out == "-":
+        out.write(text)
+        return
+    with open(metrics_out, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(text)
+
+
 def run_command(name: str, runs: Optional[int], seed: int,
                 out=sys.stdout, jobs: int = 1,
                 cache_dir: Optional[str] = None,
-                no_cache: bool = False) -> None:
+                no_cache: bool = False,
+                metrics_out: Optional[str] = None) -> None:
     """Execute one experiment and print its rendering."""
     runner, _, description = _COMMANDS[name]
     batches: List[BatchResult] = []
@@ -147,6 +178,8 @@ def run_command(name: str, runs: Optional[int], seed: int,
     print(result.render(), file=out)
     print(f"[{name}: {description}; {elapsed:.1f}s]", file=out)
     _runner_footer(name, batches, jobs, out)
+    if metrics_out is not None:
+        _write_metrics(batches, metrics_out, out)
 
 
 def main(argv=None, out=sys.stdout) -> int:
@@ -159,6 +192,10 @@ def main(argv=None, out=sys.stdout) -> int:
             print(f"{name.ljust(width)}  {description} {runs}", file=out)
         return 0
     if args.command == "all":
+        if args.metrics_out is not None:
+            print("--metrics-out applies to a single command, not 'all'",
+                  file=sys.stderr)
+            return 2
         for name in sorted(_COMMANDS):
             print(f"\n===== {name} =====", file=out)
             run_command(name, args.runs, args.seed, out=out,
@@ -167,7 +204,7 @@ def main(argv=None, out=sys.stdout) -> int:
         return 0
     run_command(args.command, args.runs, args.seed, out=out,
                 jobs=args.jobs, cache_dir=args.cache_dir,
-                no_cache=args.no_cache)
+                no_cache=args.no_cache, metrics_out=args.metrics_out)
     return 0
 
 

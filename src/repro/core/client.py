@@ -31,6 +31,9 @@ import numpy as np
 from repro.core.config import ClientConfig, StreamProfile
 from repro.core.packet import Packet, StreamTrace
 from repro.core.types import ReplicaBuffer
+from repro.obs.registry import LabelValue, MetricsRegistry
+from repro.obs.runtime import active_registry
+from repro.obs.spans import Span, SpanTracker
 from repro.sim.engine import Event, Simulator
 from repro.sim.tracing import EventLog
 from repro.wifi.association import WifiManager
@@ -66,7 +69,9 @@ class DiversiFiClient:
                  flow_id: str = "rt0",
                  enabled: bool = True,
                  event_log: Optional[EventLog] = None,
-                 middlebox_explicit: bool = False):
+                 middlebox_explicit: bool = False,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metric_labels: Optional[Dict[str, LabelValue]] = None):
         self.sim = sim
         self.manager = manager
         self.profile = profile
@@ -80,6 +85,16 @@ class DiversiFiClient:
         self.enabled = enabled
         self.stats = ClientStats()
         self._event_log = event_log
+        # Explicit registry wins; otherwise pick up the registry the
+        # runner installed for this task, if any (see repro.obs.runtime).
+        self._metrics = metrics if metrics is not None \
+            else active_registry()
+        self._metric_labels: Dict[str, LabelValue] = \
+            dict(metric_labels or {})
+        self._spans = SpanTracker(clock=lambda: self.sim.now,
+                                  registry=self._metrics,
+                                  event_log=event_log, source="client")
+        self._visit_span: Optional[Span] = None
 
         n = profile.n_packets
         send_times = (stream_start_time
@@ -138,17 +153,24 @@ class DiversiFiClient:
             self.stats.received_primary += 1
         if not first_copy:
             self.stats.duplicates += 1
+            self._count("client.duplicates")
 
         if first_copy and via_secondary and seq in self._declared_lost:
             deadline = (self._send_times[seq]
                         + self.config.max_tolerable_delay_s)
             if arrival_time <= deadline + 1e-9:
                 self.stats.recovered += 1
+                self._count("client.recovered")
                 self._log("recovered", f"seq={seq}")
             declared = self._loss_declared_at.get(seq)
             if declared is not None:
                 self.stats.recovery_delays_s.append(
                     arrival_time - declared)
+                if self._metrics is not None:
+                    self._metrics.histogram(
+                        "client.recovery_delay_s",
+                        **self._metric_labels).observe(
+                            arrival_time - declared)
 
         self._pending_lost.pop(seq, None)
 
@@ -176,6 +198,10 @@ class DiversiFiClient:
         if self._event_log is not None:
             self._event_log.record(self.sim.now, "client", kind, detail)
 
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name, **self._metric_labels).inc(amount)
+
     def _declare_lost(self, seq: int) -> None:
         if seq in self._declared_lost or seq in self.trace.arrivals:
             return
@@ -183,6 +209,7 @@ class DiversiFiClient:
         self._declared_lost.add(seq)
         self._loss_declared_at[seq] = self.sim.now
         self.stats.losses_declared += 1
+        self._count("client.losses_declared")
         deadline = (self._send_times[seq]
                     + self.config.max_tolerable_delay_s)
         if self.sim.now > deadline:
@@ -223,8 +250,15 @@ class DiversiFiClient:
             self._visit_planned = False
             return
         self.stats.recovery_switches += 1
+        self._count("client.recovery_switches")
         self._log("switch-to-secondary",
                   f"pending={len(self._pending_lost)}")
+        if self._visit_span is None:
+            # A keepalive switch may already be in flight (span open);
+            # that visit doubles as the recovery visit.
+            self._visit_span = self._spans.span(
+                "client.secondary_visit", reason="recovery",
+                **self._metric_labels)
         self.manager.switch_to(self.SECONDARY, self._on_secondary_awake)
 
     def _on_secondary_awake(self) -> None:
@@ -255,6 +289,9 @@ class DiversiFiClient:
         if self.middlebox is not None and not self.middlebox_explicit:
             self.middlebox.stop(self.flow_id)
         self._log("switch-to-primary")
+        if self._visit_span is not None:
+            self._visit_span.end()
+            self._visit_span = None
         # Expire pending packets that can no longer make their deadline.
         horizon = self.sim.now + self.config.link_switch_latency_s
         self._pending_lost = {
@@ -275,7 +312,12 @@ class DiversiFiClient:
         if idle >= self.config.association_keepalive_timeout_s - 1e-9:
             if not self._on_secondary and not self._visit_planned:
                 self.stats.keepalive_switches += 1
+                self._count("client.keepalive_switches")
                 self._log("keepalive-visit")
+                if self._visit_span is None:
+                    self._visit_span = self._spans.span(
+                        "client.secondary_visit", reason="keepalive",
+                        **self._metric_labels)
                 self.manager.switch_to(self.SECONDARY,
                                        self._keepalive_awake)
         # Re-arm relative to the most recent visit.

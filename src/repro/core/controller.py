@@ -31,6 +31,8 @@ from repro.core.packet import LinkTrace, Packet, StreamTrace
 from repro.net.lan import LanSegment
 from repro.net.middlebox import Middlebox
 from repro.net.sdn import FlowMatch, MatchAction, SdnSwitch
+from repro.obs.registry import LabelValue, MetricsRegistry
+from repro.obs.runtime import active_registry
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomRouter
 from repro.sim.tracing import EventLog
@@ -94,16 +96,25 @@ def run_session(link_factory: Callable[[RandomRouter], Tuple[Any, Any]],
                 with_tcp: bool = False,
                 tcp_capacity_bps: float = 4.6e6,
                 event_log: Optional[EventLog] = None,
-                middlebox_explicit: bool = False) -> SessionResult:
+                middlebox_explicit: bool = False,
+                metrics: Optional[MetricsRegistry] = None) -> SessionResult:
     """Simulate one call end to end and return its result.
 
     ``link_factory(rng_router)`` builds the (primary, secondary) WifiLink
     pair — e.g. ``repro.scenarios.build_office_pair``.
     ``extra_middlebox_streams`` preloads the middlebox with other tenants
     (the Section 6.4 scalability sweep).
+
+    ``metrics`` defaults to the registry the parallel runner installed
+    for this task (``repro.obs.runtime.active_registry``); every metric
+    the session records carries a ``mode`` label so the Figure 8
+    architectures stay distinguishable after a batch merge.
     """
     if mode not in VALID_MODES:
         raise ValueError(f"unknown mode {mode!r}; pick from {VALID_MODES}")
+    if metrics is None:
+        metrics = active_registry()
+    metric_labels: dict = {"mode": mode}
     client_config = client_config or ClientConfig().for_profile(profile)
     ap_config = ap_config or APConfig(
         max_queue_len=client_config.ap_queue_len)
@@ -139,7 +150,8 @@ def run_session(link_factory: Callable[[RandomRouter], Tuple[Any, Any]],
                                secondary_ap_config)
 
     # --- client NIC and associations ------------------------------------
-    manager = WifiManager(sim, router.stream("client.psm"))
+    manager = WifiManager(sim, router.stream("client.psm"),
+                          metrics=metrics)
     manager.create_adapter(DiversiFiClient.PRIMARY)
     manager.create_adapter(DiversiFiClient.SECONDARY)
     # The queue-length IE carries the experiment's AP buffer depth; a
@@ -180,7 +192,8 @@ def run_session(link_factory: Callable[[RandomRouter], Tuple[Any, Any]],
         sim, manager, profile, client_config,
         middlebox=middlebox if mode == "diversifi-mbox" else None,
         enabled=not single_link, event_log=event_log,
-        middlebox_explicit=middlebox_explicit)
+        middlebox_explicit=middlebox_explicit,
+        metrics=metrics, metric_labels=metric_labels)
     primary_ap.set_receiver(client.on_receive)
     secondary_ap.set_receiver(client.on_receive)
 
@@ -203,6 +216,18 @@ def run_session(link_factory: Callable[[RandomRouter], Tuple[Any, Any]],
     client.start()
     sender.start()
     sim.run(until=profile.duration_s + 1.0)
+
+    if metrics is not None:
+        sim.record_metrics(metrics, **metric_labels)
+        metrics.counter("session.runs", **metric_labels).inc()
+        metrics.counter("session.switches",
+                        **metric_labels).inc(manager.switch_count)
+        metrics.histogram("session.off_channel_time_s",
+                          **metric_labels).observe(
+                              manager.off_channel_time_s)
+        # Close the wake-ratio gauges at the end of the observation
+        # period and fold them into the registry.
+        manager.record_metrics(sim.now)
 
     return SessionResult(
         mode=mode, stream=client.trace, client_stats=client.stats,

@@ -23,25 +23,29 @@ import itertools
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.runner.spec import RunSpec, canonical_json
 
-#: cache entry schema version (bump to invalidate the whole store)
-CACHE_VERSION = 1
+#: cache entry schema version (bump to invalidate the whole store).
+#: v2: entries carry the run's metrics blob and no longer embed
+#: ``wall_time_s`` — a wall-clock field made two runs of the same spec
+#: produce different cache bytes, and replaying it as a hit's "wall
+#: time" misreported hits as costing the original simulation time.
+CACHE_VERSION = 2
 
 _TEMP_COUNTER = itertools.count()
 
-#: process-local memo: spec key -> canonical payload JSON
-_MEMO: Dict[str, str] = {}
+#: process-local memo: spec key -> (payload JSON, metrics JSON)
+_MEMO: Dict[str, Tuple[str, str]] = {}
 
 
-def memo_get(key: str) -> Optional[str]:
+def memo_get(key: str) -> Optional[Tuple[str, str]]:
     return _MEMO.get(key)
 
 
-def memo_put(key: str, payload_json: str) -> None:
-    _MEMO[key] = payload_json
+def memo_put(key: str, payload_json: str, metrics_json: str) -> None:
+    _MEMO[key] = (payload_json, metrics_json)
 
 
 def clear_memo() -> None:
@@ -60,8 +64,8 @@ class ResultCache:
         """Where an entry for ``key`` lives (two-level fan-out)."""
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, spec: RunSpec) -> Optional[str]:
-        """Canonical payload JSON for ``spec``, or ``None`` on a miss.
+    def get(self, spec: RunSpec) -> Optional[Tuple[str, str]]:
+        """``(payload JSON, metrics JSON)`` for ``spec``, or ``None``.
 
         A corrupted or mismatched entry is deleted and reported as a
         miss so the run is recomputed and the entry rewritten.
@@ -76,19 +80,26 @@ class ResultCache:
             if (not isinstance(entry, dict)
                     or entry.get("version") != CACHE_VERSION
                     or entry.get("key") != spec.key
-                    or "payload" not in entry):
+                    or "payload" not in entry
+                    or "metrics" not in entry):
                 raise ValueError("cache entry schema mismatch")
             payload_json = canonical_json(entry["payload"])
+            metrics_json = canonical_json(entry["metrics"])
         except (ValueError, TypeError):
             # Any parse/shape failure means the entry is corrupt; the
             # recovery is to delete it and recompute the run.
             self._discard(path)
             return None
-        return payload_json
+        return payload_json, metrics_json
 
     def put(self, spec: RunSpec, payload_json: str,
-            wall_time_s: float) -> None:
-        """Write an entry atomically (temp file + ``os.replace``)."""
+            metrics_json: str) -> None:
+        """Write an entry atomically (temp file + ``os.replace``).
+
+        The entry is a pure function of the spec and the run's outputs —
+        no wall-clock or host-specific fields — so two machines
+        computing the same spec write byte-identical cache files.
+        """
         path = self.path_for(spec.key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -98,7 +109,7 @@ class ResultCache:
             "seed": spec.seed,
             "config": json.loads(spec.config_json),
             "fingerprint": spec.fingerprint,
-            "wall_time_s": wall_time_s,
+            "metrics": json.loads(metrics_json),
             "payload": json.loads(payload_json),
         }
         # Unique-per-writer temp name: concurrent writers never share a

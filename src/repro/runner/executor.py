@@ -42,6 +42,7 @@ from typing import (
     Tuple,
 )
 
+from repro.obs.export import from_canonical_json, to_canonical_json
 from repro.runner import cache as cache_mod
 from repro.runner.cache import ResultCache
 from repro.runner.context import ProgressEvent, RunnerConfig, active_config
@@ -108,10 +109,11 @@ def run_batch(specs: Sequence[RunSpec],
         # Serial path: everything left over (jobs=1, a single miss, or
         # the pool gave up after bounded retries).
         for index, spec in pending:
-            payload_json, wall = execute_spec(
+            payload_json, metrics_json, wall = execute_spec(
                 spec.task, spec.config_json, spec.seed)
             result = RunResult(spec=spec, payload_json=payload_json,
-                               wall_time_s=wall, worker="serial")
+                               wall_time_s=wall, worker="serial",
+                               metrics_json=metrics_json)
             _record(index, result, results, config, disk, stats)
 
     merged = _merge(specs, results, sanitize)
@@ -154,16 +156,28 @@ def _lookup(spec: RunSpec, config: RunnerConfig,
         memoized = cache_mod.memo_get(spec.key)
         if memoized is not None:
             stats.memo_hits += 1
-            return RunResult(spec=spec, payload_json=memoized,
-                             wall_time_s=0.0, cached=True, worker="memo")
-    if disk is not None:
-        payload_json = disk.get(spec)
-        if payload_json is not None:
-            stats.cache_hits += 1
-            if config.memo:
-                cache_mod.memo_put(spec.key, payload_json)
+            payload_json, metrics_json = memoized
             return RunResult(spec=spec, payload_json=payload_json,
-                             wall_time_s=0.0, cached=True, worker="disk")
+                             wall_time_s=0.0, cached=True, worker="memo",
+                             metrics_json=metrics_json)
+    if disk is not None:
+        # Hit latency is reported on its own field: a hit's wall_time_s
+        # stays 0.0 because no simulation ran (replaying the original
+        # run's elapsed time — or charging the lookup to it — would
+        # corrupt the executed-run timing statistics).
+        lookup_start = time.perf_counter()   # reprolint: disable=DET002
+        hit = disk.get(spec)
+        lookup_s = time.perf_counter() - lookup_start   # reprolint: disable=DET002
+        if hit is not None:
+            stats.cache_hits += 1
+            stats.hit_wall_times_s.append(lookup_s)
+            payload_json, metrics_json = hit
+            if config.memo:
+                cache_mod.memo_put(spec.key, payload_json, metrics_json)
+            return RunResult(spec=spec, payload_json=payload_json,
+                             wall_time_s=0.0, cached=True, worker="disk",
+                             metrics_json=metrics_json,
+                             hit_wall_time_s=lookup_s)
     return None
 
 
@@ -174,9 +188,10 @@ def _record(index: int, result: RunResult,
     stats.executed += 1
     stats.run_wall_times_s.append(result.wall_time_s)
     if config.memo:
-        cache_mod.memo_put(result.spec.key, result.payload_json)
+        cache_mod.memo_put(result.spec.key, result.payload_json,
+                           result.metrics_json)
     if disk is not None:
-        disk.put(result.spec, result.payload_json, result.wall_time_s)
+        disk.put(result.spec, result.payload_json, result.metrics_json)
     _emit_progress(config, stats, result,
                    completed=sum(r is not None for r in results))
 
@@ -216,14 +231,14 @@ def _run_pool(pending: List[Tuple[int, RunSpec]],
         except (OSError, ValueError):
             return remaining   # pool unavailable: serial fallback
         stats.pool_used = True
-        futures: Dict[int, "Future[Tuple[str, float]]"] = {}
+        futures: Dict[int, "Future[Tuple[str, str, float]]"] = {}
         try:
             for index, spec in remaining:
                 futures[index] = pool.submit(
                     execute_spec, spec.task, spec.config_json, spec.seed)
             for index, spec in list(remaining):
                 try:
-                    payload_json, wall = futures[index].result(
+                    payload_json, metrics_json, wall = futures[index].result(
                         timeout=config.timeout_s)
                 except FutureTimeoutError:
                     _abandon(pool, futures)
@@ -231,7 +246,8 @@ def _run_pool(pending: List[Tuple[int, RunSpec]],
                     raise RunTimeoutError(spec, config.timeout_s) from None
                 result = RunResult(
                     spec=spec, payload_json=payload_json, wall_time_s=wall,
-                    attempts=attempt + 1, worker="pool")
+                    attempts=attempt + 1, worker="pool",
+                    metrics_json=metrics_json)
                 _record(index, result, results, config, disk, stats)
                 remaining.remove((index, spec))
         except BrokenProcessPool:
@@ -245,7 +261,7 @@ def _run_pool(pending: List[Tuple[int, RunSpec]],
 
 
 def _abandon(pool: ProcessPoolExecutor,
-             futures: Dict[int, "Future[Tuple[str, float]]"]) -> None:
+             futures: Dict[int, "Future[Tuple[str, str, float]]"]) -> None:
     for future in futures.values():
         future.cancel()
     pool.shutdown(wait=False, cancel_futures=True)
@@ -272,5 +288,12 @@ def _merge(specs: Sequence[RunSpec],
                     f"payload for {spec.task} seed={spec.seed} is not "
                     "canonical-JSON stable; digests would differ between "
                     "fresh and cached executions")
+            metrics_round_trip = to_canonical_json(
+                from_canonical_json(result.metrics_json))
+            if metrics_round_trip != result.metrics_json:
+                raise MergeOrderError(
+                    f"metrics for {spec.task} seed={spec.seed} are not "
+                    "canonical-JSON stable; exported metrics would "
+                    "differ between fresh and cached executions")
         merged.append(result)
     return tuple(merged)

@@ -20,6 +20,9 @@ import hashlib
 import json
 from typing import Any, List, Mapping, Optional, Tuple
 
+from repro.obs.export import EMPTY_METRICS_JSON, merge_metrics_json
+from repro.obs.registry import MetricsRegistry
+
 
 def _canonical_default(obj: Any) -> Any:
     """JSON fallback for the numpy scalar/array types tasks tend to leak."""
@@ -98,6 +101,15 @@ class RunResult:
     cached: bool = False
     attempts: int = 1
     worker: str = "serial"
+    #: canonical-JSON export of the run's metrics registry.  Cached runs
+    #: replay the original run's metrics verbatim, so the blob (and
+    #: therefore the batch digest) is identical whether the run executed
+    #: or hit.
+    metrics_json: str = EMPTY_METRICS_JSON
+    #: wall seconds the cache lookup itself took, for hits only.  Kept
+    #: separate from ``wall_time_s`` (the original simulation time is
+    #: *not* replayed — a hit did no simulating) and never cached.
+    hit_wall_time_s: float = 0.0
 
     @property
     def payload(self) -> Any:
@@ -105,19 +117,29 @@ class RunResult:
         callers can never mutate a cached copy in place)."""
         return json.loads(self.payload_json)
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run's metrics (a fresh registry on every access)."""
+        return merge_metrics_json([self.metrics_json])
+
 
 def batch_digest(results: Tuple[RunResult, ...]) -> str:
     """SHA-256 of the merged, seed-ordered result sequence.
 
-    The digest folds in ``(spec key, payload)`` pairs *in spec order*, so
-    it is identical for serial, parallel and warm-cache executions of the
-    same batch — the determinism contract the sanitizer asserts.
+    The digest folds in ``(spec key, payload, metrics)`` triples *in
+    spec order*, so it is identical for serial, parallel and warm-cache
+    executions of the same batch — the determinism contract the
+    sanitizer asserts.  Folding the metrics blob means nondeterministic
+    *instrumentation* (a wall-clock read, hash-ordered labels) breaks
+    the digest just as loudly as a nondeterministic payload.
     """
     digest = hashlib.sha256()
     for result in results:
         digest.update(result.spec.key.encode("ascii"))
         digest.update(b"|")
         digest.update(result.payload_json.encode("utf-8"))
+        digest.update(b"|")
+        digest.update(result.metrics_json.encode("utf-8"))
         digest.update(b"\n")
     return f"{digest.hexdigest()}#{len(results)}"
 
@@ -134,6 +156,13 @@ class BatchResult:
     def payloads(self) -> List[Any]:
         return [result.payload for result in self.results]
 
+    def merged_metrics(self) -> MetricsRegistry:
+        """All runs' metrics merged **in spec order** — the only order
+        that keeps the merged export byte-identical across execution
+        modes (counters are commutative, gauge last-write is not)."""
+        return merge_metrics_json(
+            [result.metrics_json for result in self.results])
+
 
 @dataclasses.dataclass
 class BatchStats:
@@ -148,6 +177,9 @@ class BatchStats:
     pool_used: bool = False
     wall_time_s: float = 0.0
     run_wall_times_s: List[float] = dataclasses.field(default_factory=list)
+    #: cache-lookup latencies for the hits (telemetry; see
+    #: ``RunResult.hit_wall_time_s``)
+    hit_wall_times_s: List[float] = dataclasses.field(default_factory=list)
 
     @property
     def simulated_runs(self) -> int:

@@ -19,6 +19,8 @@ import json
 import time
 from typing import Any, Callable, Tuple
 
+from repro.obs.export import to_canonical_json
+from repro.obs.runtime import collecting
 from repro.runner.spec import canonical_json
 
 
@@ -45,8 +47,14 @@ def resolve_task(entry: str) -> Callable[..., Any]:
 
 
 def execute_spec(task: str, config_json: str,
-                 seed: int) -> Tuple[str, float]:
-    """Run one spec; returns ``(canonical payload JSON, wall seconds)``.
+                 seed: int) -> Tuple[str, str, float]:
+    """Run one spec; returns ``(payload JSON, metrics JSON, wall s)``.
+
+    The task runs inside a fresh :func:`repro.obs.runtime.collecting`
+    scope, so every instrumented component it touches reports into a
+    per-run registry; the registry's canonical-JSON export travels with
+    the payload (and into the cache), keeping the metrics as
+    reproducible as the results themselves.
 
     The wall time is telemetry only (per-run progress lines); it never
     feeds back into simulated behaviour, hence the sanctioned clock read.
@@ -54,6 +62,7 @@ def execute_spec(task: str, config_json: str,
     fn = resolve_task(task)
     config = json.loads(config_json)
     start = time.perf_counter()   # reprolint: disable=DET002
-    payload = fn(seed, **config)
+    with collecting() as registry:
+        payload = fn(seed, **config)
     elapsed = time.perf_counter() - start   # reprolint: disable=DET002
-    return canonical_json(payload), elapsed
+    return canonical_json(payload), to_canonical_json(registry), elapsed

@@ -79,6 +79,8 @@ class Simulator:
         self._stopped = False
         #: number of events executed so far (observability / tests)
         self.events_executed = 0
+        #: high-water mark of the pending-event queue (observability)
+        self.peak_queue_depth = 0
         # Sanitizer state is resolved once at construction so the hot loop
         # pays a single attribute check when disabled.
         self._sanitize = sanitizer_enabled()
@@ -112,6 +114,8 @@ class Simulator:
                 f"cannot schedule event at t={time:.9f} < now={self._now:.9f}")
         event = Event(max(time, self._now), next(self._seq), callback, args)
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self.peak_queue_depth:
+            self.peak_queue_depth = len(self._queue)
         return event
 
     def call_in(self, delay: float, callback: Callable[..., Any],
@@ -176,6 +180,21 @@ class Simulator:
         finally:
             self._running = False
         return self._now
+
+    def record_metrics(self, registry: Any, **labels: Any) -> None:
+        """Flush engine telemetry into a ``MetricsRegistry``.
+
+        Call once, after the run: the counter increment is the run's
+        cumulative event count, so counters merge additively across
+        runs while the peak-depth gauge keeps last-write semantics.
+        ``registry`` is typed loosely to keep the engine importable
+        without :mod:`repro.obs`.
+        """
+        registry.counter("sim.events_executed", **labels).inc(
+            self.events_executed)
+        registry.gauge("sim.peak_queue_depth", **labels).set(
+            self.peak_queue_depth)
+        registry.gauge("sim.final_time_s", **labels).set(self._now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self._now:.6f} pending={len(self._queue)} "

@@ -57,7 +57,15 @@ class EventLog:
         return [e for e in self._events if e.kind == kind]
 
     def between(self, start: float, end: float) -> List[TraceEvent]:
-        return [e for e in self._events if start <= e.time <= end]
+        """Events in the half-open interval ``[start, end)``.
+
+        Half-open slices tile a timeline without double-counting:
+        ``between(0, 5) + between(5, 10)`` sees every event exactly
+        once.  (The old inclusive-on-both-ends behaviour counted an
+        event at ``t=5`` in both windows, which skewed every per-window
+        aggregate built on adjacent slices.)
+        """
+        return [e for e in self._events if start <= e.time < end]
 
     def counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}

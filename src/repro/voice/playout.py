@@ -13,10 +13,13 @@ for the access hop.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.packet import LinkTrace
+from repro.obs.registry import LabelValue, MetricsRegistry
+from repro.obs.runtime import active_registry
 
 
 @dataclass
@@ -45,10 +48,16 @@ class PlayoutResult:
 class PlayoutBuffer:
     """Fixed-delay playout schedule."""
 
-    def __init__(self, playout_delay_s: float = 0.100):
+    def __init__(self, playout_delay_s: float = 0.100,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metric_labels: Optional[Dict[str, LabelValue]] = None):
         if playout_delay_s <= 0:
             raise ValueError("playout delay must be positive")
         self.playout_delay_s = playout_delay_s
+        self._metrics = metrics if metrics is not None \
+            else active_registry()
+        self._metric_labels: Dict[str, LabelValue] = \
+            dict(metric_labels or {})
 
     def replay(self, trace: LinkTrace) -> PlayoutResult:
         """Replay a trace against the playout schedule."""
@@ -57,13 +66,32 @@ class PlayoutBuffer:
         played = np.zeros(len(trace), dtype=bool)
         network_losses = 0
         late_losses = 0
+        margin_hist = None
+        if self._metrics is not None:
+            margin_hist = self._metrics.histogram(
+                "playout.margin_s", **self._metric_labels)
         for i in range(len(trace)):
             if not trace.delivered[i]:
                 network_losses += 1
                 continue
             if arrivals[i] <= deadlines[i] + 1e-12:
                 played[i] = True
+                if margin_hist is not None:
+                    margin_hist.observe(
+                        float(deadlines[i] - arrivals[i]))
             else:
                 late_losses += 1
+        if self._metrics is not None:
+            labels = self._metric_labels
+            self._metrics.counter("playout.frames",
+                                  **labels).inc(len(trace))
+            self._metrics.counter("playout.network_losses",
+                                  **labels).inc(network_losses)
+            self._metrics.counter("playout.late_losses",
+                                  **labels).inc(late_losses)
+            # Every missing frame at its playout instant is concealed.
+            self._metrics.counter(
+                "playout.concealment_events",
+                **labels).inc(network_losses + late_losses)
         return PlayoutResult(played=played, network_losses=network_losses,
                              late_losses=late_losses)

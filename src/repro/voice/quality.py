@@ -22,6 +22,7 @@ whole-call R and the worst 5-second window's R.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,9 +57,31 @@ CODEC_IMPAIRMENTS = {
 }
 
 
-def codec_impairment(codec: str) -> CodecImpairment:
-    """Constants for ``codec`` (falls back to G.711)."""
-    return CODEC_IMPAIRMENTS.get(codec, CODEC_IMPAIRMENTS["g711"])
+class UnknownCodecError(KeyError):
+    """``codec_impairment`` was asked about a codec G.113 doesn't cover."""
+
+
+def codec_impairment(codec: str, strict: bool = True) -> CodecImpairment:
+    """G.113 constants for ``codec``.
+
+    An unknown codec raises :class:`UnknownCodecError`: the old silent
+    G.711 fallback scored e.g. a misspelled low-bitrate codec with the
+    *most* loss-robust constants in the table, quietly inflating its
+    MOS.  Pass ``strict=False`` to opt back into the fallback (with a
+    warning) when scoring traces whose codec column is untrusted.
+    """
+    constants = CODEC_IMPAIRMENTS.get(codec)
+    if constants is not None:
+        return constants
+    if strict:
+        raise UnknownCodecError(
+            f"no G.113 impairment constants for codec {codec!r}; known: "
+            f"{sorted(CODEC_IMPAIRMENTS)} (pass strict=False to fall "
+            "back to G.711)")
+    warnings.warn(
+        f"unknown codec {codec!r}: falling back to G.711 constants",
+        stacklevel=2)
+    return CODEC_IMPAIRMENTS["g711"]
 
 
 def delay_impairment(one_way_delay_s: float) -> float:

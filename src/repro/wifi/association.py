@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.obs.registry import MetricsRegistry, TimeWeightedGauge
+from repro.obs.runtime import active_registry
 from repro.sim.engine import Simulator
 from repro.wifi.psm import PowerSaveClient, PsmConfig
 
@@ -48,7 +50,8 @@ class VirtualAdapter:
 class WifiManager:
     """The client's single physical NIC and its virtual adapters."""
 
-    def __init__(self, sim: Simulator, rng, psm_config: PsmConfig = None):
+    def __init__(self, sim: Simulator, rng, psm_config: PsmConfig = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.sim = sim
         self._rng = rng
         self._psm_config = psm_config or PsmConfig()
@@ -59,6 +62,41 @@ class WifiManager:
         self.switch_count = 0
         self.off_channel_time_s = 0.0
         self._mac_counter = 0
+        self._metrics = metrics if metrics is not None \
+            else active_registry()
+        # Session-local awake gauges (0/1 indicator; time-weighted mean =
+        # the PSM wake ratio).  Kept off the registry until
+        # :meth:`record_metrics` because each session's simulator clock
+        # restarts at zero — registering the gauge directly would trip
+        # the monotone-time check when one task runs several sessions.
+        self._awake: Dict[str, TimeWeightedGauge] = {}
+
+    def _awake_gauge(self, adapter_name: str
+                     ) -> Optional[TimeWeightedGauge]:
+        if self._metrics is None:
+            return None
+        gauge = self._awake.get(adapter_name)
+        if gauge is None:
+            gauge = TimeWeightedGauge()
+            self._awake[adapter_name] = gauge
+        return gauge
+
+    def _mark_awake(self, adapter_name: str, awake: bool) -> None:
+        gauge = self._awake_gauge(adapter_name)
+        if gauge is not None:
+            gauge.set(self.sim.now, 1.0 if awake else 0.0)
+
+    def record_metrics(self, close_time: float) -> None:
+        """Close this session's awake gauges and fold them into the
+        registry (``wifi.awake{adapter=...}``); additive across runs."""
+        if self._metrics is None:
+            return
+        for name in sorted(self._awake):
+            local = self._awake[name]
+            local.close(close_time)
+            self._metrics.time_gauge("wifi.awake",
+                                     adapter=name).merge(local)
+        self._awake.clear()
 
     # ------------------------------------------------------------------
 
@@ -81,7 +119,9 @@ class WifiManager:
         """
         adapter = self.adapters[adapter_name]
         psm = PowerSaveClient(
-            self.sim, ap, self._rng, self._psm_config)
+            self.sim, ap, self._rng, self._psm_config,
+            metrics=self._metrics,
+            metric_labels={"adapter": adapter_name})
         association = Association(
             adapter_name=adapter_name, ap=ap, channel=channel,
             requested_queue_len=requested_queue_len, psm=psm)
@@ -114,6 +154,11 @@ class WifiManager:
         association = self._require_association(adapter_name)
         self._active = adapter_name
         association.ap.client_wake()
+        # Anchor every adapter's awake gauge here so the wake-ratio
+        # observation period spans the whole session.
+        for name, adapter in sorted(self.adapters.items()):
+            if adapter.association is not None:
+                self._mark_awake(name, name == adapter_name)
 
     def _require_association(self, adapter_name: str) -> Association:
         adapter = self.adapters.get(adapter_name)
@@ -134,13 +179,18 @@ class WifiManager:
         target = self._require_association(adapter_name)
         self._switching = True
         self.switch_count += 1
+        if self._metrics is not None:
+            self._metrics.counter("wifi.switches",
+                                  to=adapter_name).inc()
         switch_start = self.sim.now
+        previous = self._active
         current = (self._require_association(self._active)
                    if self._active else None)
 
         def after_wake():
             self._switching = False
             self.off_channel_time_s += self.sim.now - switch_start
+            self._mark_awake(adapter_name, True)
             if done_callback is not None:
                 done_callback()
 
@@ -151,6 +201,8 @@ class WifiManager:
         def after_sleep():
             # Radio leaves the old channel: neither AP can reach us.
             self._active = None
+            if previous is not None:
+                self._mark_awake(previous, False)
             self.sim.call_in(self._psm_config.channel_switch_s, after_retune)
 
         if current is not None:

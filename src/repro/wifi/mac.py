@@ -12,9 +12,18 @@ retry burst's actual attempt times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Dict, Optional
 
 import numpy as np
+
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    Counter,
+    Histogram,
+    LabelValue,
+    MetricsRegistry,
+)
+from repro.obs.runtime import active_registry
 
 
 @dataclass(frozen=True)
@@ -49,9 +58,26 @@ class MacLayer:
     state correctly correlates consecutive attempts.
     """
 
-    def __init__(self, config: MacConfig, rng: np.random.Generator):
+    def __init__(self, config: MacConfig, rng: np.random.Generator,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metric_labels: Optional[Dict[str, LabelValue]] = None):
         self.config = config
         self._rng = rng
+        # Instruments are resolved once here, not per frame: transmit()
+        # runs per packet and a dict lookup per counter would be hot.
+        registry = metrics if metrics is not None else active_registry()
+        self._m_attempts: Optional[Counter] = None
+        self._m_retries: Optional[Counter] = None
+        self._m_dropped: Optional[Counter] = None
+        self._m_attempt_hist: Optional[Histogram] = None
+        if registry is not None:
+            labels = dict(metric_labels or {})
+            self._m_attempts = registry.counter("mac.attempts", **labels)
+            self._m_retries = registry.counter("mac.retries", **labels)
+            self._m_dropped = registry.counter("mac.frames_dropped",
+                                               **labels)
+            self._m_attempt_hist = registry.histogram(
+                "mac.attempts_per_frame", bounds=COUNT_BUCKETS, **labels)
 
     def _backoff_s(self, attempt: int) -> float:
         cw = min(self.config.cw_min * (2 ** attempt) + (2 ** attempt - 1),
@@ -70,15 +96,25 @@ class MacLayer:
         airtime = (airtime_s if airtime_s is not None
                    else self.config.attempt_airtime_s)
         elapsed = 0.0
+        result = None
         for attempt in range(self.config.retry_limit + 1):
             elapsed += self._backoff_s(attempt)
             tx_time = start_time + elapsed
             elapsed += airtime
             p_loss = attempt_loss_prob(tx_time)
             if self._rng.random() >= p_loss:
-                return TransmissionResult(
+                result = TransmissionResult(
                     delivered=True, attempts=attempt + 1,
                     service_time_s=elapsed)
-        return TransmissionResult(
-            delivered=False, attempts=self.config.retry_limit + 1,
-            service_time_s=elapsed)
+                break
+        if result is None:
+            result = TransmissionResult(
+                delivered=False, attempts=self.config.retry_limit + 1,
+                service_time_s=elapsed)
+        if self._m_attempts is not None:
+            self._m_attempts.inc(result.attempts)
+            self._m_retries.inc(result.attempts - 1)
+            if not result.delivered:
+                self._m_dropped.inc()
+            self._m_attempt_hist.observe(result.attempts)
+        return result

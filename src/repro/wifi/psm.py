@@ -15,9 +15,12 @@ measured 2.8 ms link-switch latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.registry import Counter, LabelValue, MetricsRegistry
+from repro.obs.runtime import active_registry
 from repro.sim.engine import Simulator
 
 
@@ -39,7 +42,9 @@ class PowerSaveClient:
     """Issues sleep/wake null frames for one association."""
 
     def __init__(self, sim: Simulator, ap, rng: np.random.Generator,
-                 config: PsmConfig = PsmConfig()):
+                 config: PsmConfig = PsmConfig(),
+                 metrics: Optional[MetricsRegistry] = None,
+                 metric_labels: Optional[Dict[str, LabelValue]] = None):
         self.sim = sim
         self.ap = ap
         self.config = config
@@ -47,16 +52,27 @@ class PowerSaveClient:
         #: exchanges attempted (observability)
         self.exchanges = 0
         self.retries = 0
+        registry = metrics if metrics is not None else active_registry()
+        self._m_exchanges: Optional[Counter] = None
+        self._m_retries: Optional[Counter] = None
+        if registry is not None:
+            labels = dict(metric_labels or {})
+            self._m_exchanges = registry.counter("psm.exchanges", **labels)
+            self._m_retries = registry.counter("psm.retries", **labels)
 
     def _exchange_duration(self) -> float:
         """Time to complete one null-frame exchange including retries."""
         duration = 0.0
         for attempt in range(self.config.max_retries + 1):
             self.exchanges += 1
+            if self._m_exchanges is not None:
+                self._m_exchanges.inc()
             duration += self.config.frame_exchange_s
             if self._rng.random() >= self.config.frame_loss_prob:
                 return duration
             self.retries += 1
+            if self._m_retries is not None:
+                self._m_retries.inc()
         # All retries failed; the AP state is now stale.  The caller treats
         # this as a completed (slow) exchange — the paper's bug fix makes
         # this vanishingly rare.

@@ -17,7 +17,12 @@ from repro.analysis.report import (
     render_histogram,
     render_table,
 )
-from repro.analysis.windows import window_loss_rates, worst_window_loss
+from repro.analysis.windows import (
+    assign_windows,
+    window_loss_rates,
+    window_loss_rates_timed,
+    worst_window_loss,
+)
 from repro.core.packet import LinkTrace
 
 
@@ -47,6 +52,53 @@ def test_partial_trailing_window_counted():
     rates = window_loss_rates(trace_from_losses(losses))
     assert len(rates) == 2
     assert rates[1] == 1.0
+
+
+def test_assign_windows_boundary_belongs_to_later_window():
+    # Half-open [start, end): the 5.0 s timestamp is in window 1, never
+    # in both windows 0 and 1.
+    ids = assign_windows(np.array([0.0, 4.98, 5.0, 5.02, 10.0]),
+                         window_s=5.0)
+    assert ids.tolist() == [0, 0, 1, 1, 2]
+
+
+def test_assign_windows_tiles_without_double_counting():
+    times = np.arange(0.0, 15.0, 0.5)
+    ids = assign_windows(times, window_s=5.0)
+    assert np.bincount(ids).sum() == times.size
+    assert ids.max() == 2
+
+
+def test_assign_windows_validation():
+    with pytest.raises(ValueError):
+        assign_windows(np.array([1.0]), window_s=0.0)
+    with pytest.raises(ValueError):
+        assign_windows(np.array([-1.0]), window_s=5.0)
+
+
+def test_window_loss_rates_timed_boundary_packet_counted_once():
+    # A lost packet exactly on the 5 s boundary affects only window 1.
+    times = np.array([0.0, 2.5, 5.0, 7.5])
+    losses = np.array([0.0, 0.0, 1.0, 0.0])
+    rates = window_loss_rates_timed(times, losses, window_s=5.0)
+    assert rates.tolist() == [0.0, 0.5]
+
+
+def test_window_loss_rates_timed_empty_interior_window():
+    times = np.array([0.0, 12.0])
+    losses = np.array([1.0, 1.0])
+    rates = window_loss_rates_timed(times, losses, window_s=5.0)
+    assert rates.tolist() == [1.0, 0.0, 1.0]
+
+
+def test_window_loss_rates_timed_matches_block_slicing_on_regular_grid():
+    rng = np.random.default_rng(7)
+    losses = (rng.random(1000) < 0.07).astype(float)
+    times = np.arange(1000) * 0.020
+    timed = window_loss_rates_timed(times, losses, window_s=5.0)
+    block = window_loss_rates(losses, window_s=5.0,
+                              inter_packet_spacing_s=0.020)
+    assert timed.tolist() == block.tolist()
 
 
 def test_worst_window_accepts_arrays():

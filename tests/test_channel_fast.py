@@ -135,3 +135,60 @@ def test_fast_rician_option():
     config = link_config(rician_k_db=8.0)
     trace = fast_trace(config, 10)
     assert 0.0 <= trace.loss_rate <= 1.0
+
+
+# ------------------------------------------------------ obs metric parity
+
+def trace_metrics(trace_fn, config, seeds):
+    from repro.obs import MetricsRegistry, record_trace_metrics
+    registry = MetricsRegistry()
+    for seed in seeds:
+        record_trace_metrics(registry, trace_fn(config, seed),
+                             link="fastcheck")
+    return registry
+
+
+def test_fast_and_exact_emit_identical_instrument_schema():
+    """Both render paths must feed the *same* observability surface:
+    identical metric names, labels, kinds and histogram bounds, so
+    dashboards and digests never care which renderer produced a trace."""
+    config = link_config()
+    exact = trace_metrics(exact_trace, config, range(2))
+    fast = trace_metrics(fast_trace, config, range(2))
+    schema = lambda reg: [
+        (name, labels, metric.kind, getattr(metric, "bounds", None))
+        for name, labels, metric in reg.items()]
+    assert schema(exact) == schema(fast)
+    assert {name for name, _, _, _ in schema(fast)} \
+        == {"trace.packets", "trace.lost", "trace.burst_len",
+            "trace.window_loss_rate"}
+
+
+def test_fast_matches_exact_obs_metrics():
+    """Aggregate parity via repro.obs: the fast renderer's recorded
+    loss volume and per-window loss distribution agree with the exact
+    WifiLink path within the established equivalence tolerances."""
+    config = link_config()
+    seeds = range(6)
+    exact = trace_metrics(exact_trace, config, seeds)
+    fast = trace_metrics(fast_trace, config, seeds)
+    packets = exact.get("trace.packets", link="fastcheck").value
+    assert fast.get("trace.packets", link="fastcheck").value == packets
+    exact_rate = exact.get("trace.lost", link="fastcheck").value / packets
+    fast_rate = fast.get("trace.lost", link="fastcheck").value / packets
+    assert fast_rate == pytest.approx(exact_rate, rel=1.0, abs=0.01)
+    # Mean per-window loss rate (histogram sum/count) agrees too — the
+    # statistic the paper's worst-window evidence is built from.
+    exact_win = exact.get("trace.window_loss_rate", link="fastcheck")
+    fast_win = fast.get("trace.window_loss_rate", link="fastcheck")
+    assert fast_win.count == exact_win.count
+    assert fast_win.total / fast_win.count == pytest.approx(
+        exact_win.total / exact_win.count, rel=1.0, abs=0.01)
+
+
+def test_fast_obs_metrics_deterministic():
+    from repro.obs import to_canonical_json
+    config = link_config()
+    a = trace_metrics(fast_trace, config, [7])
+    b = trace_metrics(fast_trace, config, [7])
+    assert to_canonical_json(a) == to_canonical_json(b)

@@ -127,3 +127,57 @@ def test_no_cache_flag_forces_recompute(tmp_path):
     _, output = run_cli(["table3", "--runs", "3",
                          "--cache-dir", str(tmp_path), "--no-cache"])
     assert "executed=3 cached=0" in output
+
+
+def test_metrics_out_writes_canonical_json(tmp_path):
+    import json
+    clear_memo()
+    metrics_file = tmp_path / "metrics.json"
+    code, _ = run_cli(["table3", "--runs", "3", "--no-cache",
+                       "--metrics-out", str(metrics_file)])
+    assert code == 0
+    text = metrics_file.read_text()
+    payload = json.loads(text)
+    assert payload["metrics"], "instrumented run exported no metrics"
+    names = [entry["name"] for entry in payload["metrics"]]
+    assert names == sorted(names)
+    # Canonical form: compact separators, trailing newline only.
+    assert text == json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+
+
+def test_metrics_out_identical_serial_parallel_warm(tmp_path):
+    """The PR's acceptance criterion at CLI level: --metrics-out bytes
+    are identical for serial, --jobs 2 and warm-cache executions."""
+    clear_memo()
+    files = {name: tmp_path / f"{name}.json"
+             for name in ("serial", "jobs2", "warm")}
+    run_cli(["table3", "--runs", "3", "--cache-dir", str(tmp_path / "c"),
+             "--metrics-out", str(files["serial"])])
+    clear_memo()
+    run_cli(["table3", "--runs", "3", "--no-cache", "--jobs", "2",
+             "--metrics-out", str(files["jobs2"])])
+    clear_memo()
+    _, warm_out = run_cli(["table3", "--runs", "3",
+                           "--cache-dir", str(tmp_path / "c"),
+                           "--metrics-out", str(files["warm"])])
+    assert "executed=0 cached=3" in warm_out
+    serial = files["serial"].read_bytes()
+    assert serial == files["jobs2"].read_bytes()
+    assert serial == files["warm"].read_bytes()
+
+
+def test_metrics_out_dash_writes_to_stdout():
+    import json
+    clear_memo()
+    code, output = run_cli(["table3", "--runs", "2", "--no-cache",
+                            "--metrics-out", "-"])
+    assert code == 0
+    last_line = output.rstrip("\n").splitlines()[-1]
+    assert json.loads(last_line)["metrics"]
+
+
+def test_metrics_out_rejected_for_all(tmp_path, capsys):
+    code, _ = run_cli(["all", "--metrics-out", str(tmp_path / "m.json")])
+    assert code == 2
+    assert "--metrics-out" in capsys.readouterr().err

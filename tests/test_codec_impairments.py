@@ -1,10 +1,13 @@
 """Tests for the per-codec E-model constants (G.113)."""
 
+import warnings
+
 import pytest
 
 from repro.experiments.section4 import run_figure6
 from repro.voice.quality import (
     CODEC_IMPAIRMENTS,
+    UnknownCodecError,
     codec_impairment,
     emodel_r_factor,
 )
@@ -15,8 +18,23 @@ def test_known_codecs_present():
         assert codec_impairment(codec).bpl > 0
 
 
-def test_unknown_codec_falls_back_to_g711():
-    assert codec_impairment("opus-super") is CODEC_IMPAIRMENTS["g711"]
+def test_unknown_codec_raises():
+    """Regression: an unknown codec used to silently score with G.711's
+    constants — the most loss-robust entry in the table."""
+    with pytest.raises(UnknownCodecError, match="opus-super"):
+        codec_impairment("opus-super")
+
+
+def test_unknown_codec_non_strict_warns_and_falls_back():
+    with pytest.warns(UserWarning, match="opus-super"):
+        constants = codec_impairment("opus-super", strict=False)
+    assert constants is CODEC_IMPAIRMENTS["g711"]
+
+
+def test_known_codec_never_warns():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert codec_impairment("G729", strict=False).ie == 11.0
 
 
 def test_low_bitrate_codecs_score_worse_at_zero_loss():

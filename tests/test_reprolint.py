@@ -143,7 +143,24 @@ FIXTURES = {
             return a, b
         """,
     ),
+    "OBS001": (
+        """
+        def transmit(frame):
+            print("sending", frame)
+        """,
+        """
+        def transmit(frame):
+            print("sending", frame)  # reprolint: disable=OBS001
+        """,
+    ),
 }
+
+#: rules that only fire on specific paths lint their fixture there
+FIXTURE_PATHS = {"OBS001": "src/repro/wifi/mac.py"}
+
+
+def fixture_path(rule):
+    return FIXTURE_PATHS.get(rule, "pkg/module.py")
 
 
 @pytest.mark.parametrize("rule", sorted(ALL_RULES))
@@ -153,14 +170,14 @@ def test_every_rule_has_fixture(rule):
 
 @pytest.mark.parametrize("rule", sorted(FIXTURES))
 def test_rule_triggers(rule):
-    findings = lint(FIXTURES[rule][0])
+    findings = lint(FIXTURES[rule][0], path=fixture_path(rule))
     assert rule in rule_ids(findings), \
         f"{rule} did not fire on its fixture"
 
 
 @pytest.mark.parametrize("rule", sorted(FIXTURES))
 def test_rule_suppressed_inline(rule):
-    findings = lint(FIXTURES[rule][1])
+    findings = lint(FIXTURES[rule][1], path=fixture_path(rule))
     assert rule not in rule_ids(findings), \
         f"{rule} fired despite inline disable"
 
@@ -353,6 +370,60 @@ def test_gen105_distinct_names_ok():
         def build(router):
             return router.stream("a.loss"), router.stream("a.delay")
         """)
+    assert findings == []
+
+
+# ------------------------------------------------------------ OBS001
+
+def test_obs001_only_fires_in_instrumented_packages():
+    source = """
+        def debug(x):
+            print(x)
+        """
+    assert rule_ids(lint(source, path="src/repro/voice/playout.py")) \
+        == ["OBS001"]
+    # cli.py and the tools tree print legitimately; tests too.
+    assert lint(source, path="src/repro/cli.py") == []
+    assert lint(source, path="tools/reprolint/cli.py") == []
+    assert lint(source, path="tests/test_thing.py") == []
+
+
+def test_obs001_stdout_writes_flagged():
+    findings = lint("""
+        import sys
+        def warn():
+            sys.stderr.write("retry storm\\n")
+        """, path="src/repro/runner/executor.py")
+    assert rule_ids(findings) == ["OBS001"]
+
+
+def test_obs001_global_counter_tally():
+    findings = lint("""
+        _retry_count = 0
+        def note_retry():
+            global _retry_count
+            _retry_count += 1
+        """, path="src/repro/wifi/psm.py")
+    assert rule_ids(findings) == ["OBS001"]
+
+
+def test_obs001_non_counter_global_ok():
+    # The active-registry pattern itself uses module state; only
+    # tally-shaped names are flagged.
+    findings = lint("""
+        _active = None
+        def install(registry):
+            global _active
+            _active = registry
+        """, path="src/repro/runner/context.py")
+    assert findings == []
+
+
+def test_obs001_metrics_calls_ok():
+    findings = lint("""
+        def transmit(metrics, frame):
+            metrics.counter("mac.attempts").inc()
+        """, path="src/repro/wifi/mac.py")
     assert findings == []
 
 

@@ -15,6 +15,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.obs import EMPTY_METRICS_JSON, active_registry, to_canonical_json
 from repro.runner import (
     BatchResult,
     ResultCache,
@@ -32,6 +33,7 @@ from repro.runner import (
     run_batch,
     runner_context,
 )
+from repro.runner.spec import RunResult
 from repro.runner.worker import TaskResolutionError, execute_spec, \
     resolve_task
 
@@ -40,6 +42,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 ADD_TASK = "tests.test_runner:add_task"
 CRASH_TASK = "tests.test_runner:crash_in_worker_task"
 SLEEP_TASK = "tests.test_runner:sleep_task"
+METERED_TASK = "tests.test_runner:metered_task"
 
 
 @pytest.fixture(autouse=True)
@@ -70,6 +73,15 @@ def crash_in_worker_task(seed):
 
 def sleep_task(seed):
     time.sleep(1.5)
+    return {"seed": seed}
+
+
+def metered_task(seed, *, amount=1.0):
+    # Records into the registry the runner installs around each task.
+    registry = active_registry()
+    registry.counter("task.calls").inc()
+    registry.counter("task.amount").inc(amount)
+    registry.histogram("task.seed", bounds=(2.0, 4.0)).observe(float(seed))
     return {"seed": seed}
 
 
@@ -131,8 +143,8 @@ def test_cache_roundtrip_and_layout(tmp_path):
     cache = ResultCache(tmp_path)
     spec = RunSpec.build(ADD_TASK, 5, {"offset": 1})
     assert cache.get(spec) is None
-    cache.put(spec, canonical_json({"value": 6}), wall_time_s=0.1)
-    assert cache.get(spec) == '{"value":6}'
+    cache.put(spec, canonical_json({"value": 6}), EMPTY_METRICS_JSON)
+    assert cache.get(spec) == ('{"value":6}', EMPTY_METRICS_JSON)
     path = cache.path_for(spec.key)
     assert path.parent.name == spec.key[:2]
     entry = json.loads(path.read_text())
@@ -142,17 +154,19 @@ def test_cache_roundtrip_and_layout(tmp_path):
 def test_cache_fingerprint_change_is_a_miss(tmp_path):
     cache = ResultCache(tmp_path)
     old = RunSpec.build(ADD_TASK, 5, fingerprint="a" * 64)
-    cache.put(old, canonical_json({"v": 1}), wall_time_s=0.0)
+    cache.put(old, canonical_json({"v": 1}), EMPTY_METRICS_JSON)
     new = RunSpec.build(ADD_TASK, 5, fingerprint="b" * 64)
     assert cache.get(new) is None
-    assert cache.get(old) == '{"v":1}'
+    assert cache.get(old) == ('{"v":1}', EMPTY_METRICS_JSON)
 
 
 @pytest.mark.parametrize("corruption", [
     "not json at all {",
-    '{"version":999,"key":"KEY","payload":{}}',
-    '{"version":1,"key":"wrong","payload":{}}',
-    '{"version":1,"key":"KEY"}',
+    '{"version":999,"key":"KEY","payload":{},"metrics":{"metrics":[]}}',
+    '{"version":2,"key":"wrong","payload":{},"metrics":{"metrics":[]}}',
+    '{"version":2,"key":"KEY","metrics":{"metrics":[]}}',
+    # v1 entries (no metrics blob, wall-clock field) are schema drift
+    '{"version":1,"key":"KEY","payload":{},"wall_time_s":0.1}',
 ])
 def test_cache_corrupted_entry_deleted_and_missed(tmp_path, corruption):
     cache = ResultCache(tmp_path)
@@ -171,15 +185,15 @@ def test_cache_concurrent_writers_never_leave_torn_entries(tmp_path):
 
     def hammer():
         for _ in range(50):
-            cache.put(spec, payload, wall_time_s=0.0)
-            assert cache.get(spec) == payload
+            cache.put(spec, payload, EMPTY_METRICS_JSON)
+            assert cache.get(spec) == (payload, EMPTY_METRICS_JSON)
 
     threads = [threading.Thread(target=hammer) for _ in range(4)]
     for t in threads:
         t.start()
     for t in threads:
         t.join()
-    assert cache.get(spec) == payload
+    assert cache.get(spec) == (payload, EMPTY_METRICS_JSON)
     # atomic publishes: no temp files left behind
     assert not list(tmp_path.rglob("*.tmp"))
 
@@ -196,10 +210,11 @@ def test_resolve_task_errors():
 
 
 def test_execute_spec_returns_canonical_payload():
-    payload_json, wall = execute_spec(
+    payload_json, metrics_json, wall = execute_spec(
         ADD_TASK, canonical_json({"offset": 10}), 2)
     assert json.loads(payload_json) == {"value": 12, "label": "x",
                                         "seed": 2}
+    assert metrics_json == EMPTY_METRICS_JSON   # task records nothing
     assert wall >= 0.0
 
 
@@ -345,3 +360,79 @@ def test_sanitize_asserts_merge_contract(monkeypatch):
     specs = [RunSpec.build(ADD_TASK, s) for s in range(3)]
     batch = run_batch(specs)
     assert batch.digest == run_batch(specs).digest
+
+
+# ---------------------------------------------------------------- metrics
+
+def test_run_results_carry_metrics_blob():
+    specs = [RunSpec.build(METERED_TASK, s, {"amount": 2.0})
+             for s in range(3)]
+    batch = run_batch(specs, config=RunnerConfig(no_cache=True))
+    for result in batch.results:
+        assert result.metrics.counter("task.calls").value == 1.0
+    merged = batch.merged_metrics()
+    assert merged.counter("task.calls").value == 3.0
+    assert merged.counter("task.amount").value == 6.0
+    # Histogram buckets are half-open: seeds {0,1} < 2, {2,3} in [2,4).
+    assert merged.histogram("task.seed", bounds=(2.0, 4.0)).counts \
+        == [2, 1, 0]
+
+
+def test_metrics_fold_into_batch_digest():
+    spec = RunSpec.build(METERED_TASK, 0)
+    base = run_batch([spec], config=RunnerConfig(no_cache=True)).results[0]
+    tampered = RunResult(spec=base.spec, payload_json=base.payload_json,
+                         wall_time_s=0.0, metrics_json=EMPTY_METRICS_JSON)
+    assert base.metrics_json != EMPTY_METRICS_JSON
+    assert batch_digest((base,)) != batch_digest((tampered,))
+
+
+def test_metrics_identical_serial_parallel_and_warm(pool_pythonpath,
+                                                    tmp_path):
+    """The tentpole determinism claim at the runner level: the merged
+    metrics export is byte-identical whether runs executed serially,
+    on a spawn pool, or replayed from the disk cache."""
+    specs = [RunSpec.build(METERED_TASK, s) for s in range(4)]
+    serial = run_batch(specs, config=RunnerConfig(cache_dir=tmp_path))
+    parallel = run_batch(specs, config=RunnerConfig(jobs=2, no_cache=True))
+    clear_memo()
+    warm = run_batch(specs, config=RunnerConfig(cache_dir=tmp_path))
+    assert parallel.stats.pool_used
+    assert warm.stats.cache_hits == 4 and warm.stats.executed == 0
+    blobs = [to_canonical_json(batch.merged_metrics())
+             for batch in (serial, parallel, warm)]
+    assert blobs[0] == blobs[1] == blobs[2]
+    assert serial.digest == parallel.digest == warm.digest
+
+
+# ------------------------------------------------- cache-hit timing fix
+
+def test_cache_entry_carries_no_wall_clock(tmp_path):
+    """Regression: v1 entries stored the original run's ``wall_time_s``,
+    so byte-identical simulations cached on different machines produced
+    different cache files and hits replayed stale timings."""
+    spec = RunSpec.build(ADD_TASK, 3)
+    run_batch([spec], config=RunnerConfig(cache_dir=tmp_path))
+    entry = json.loads(ResultCache(tmp_path).path_for(spec.key).read_text())
+    assert "wall_time_s" not in entry
+    assert set(entry) == {"version", "key", "task", "seed", "config",
+                          "fingerprint", "payload", "metrics"}
+
+
+def test_cache_hit_latency_reported_separately(tmp_path):
+    specs = [RunSpec.build(ADD_TASK, s) for s in range(3)]
+    cold = run_batch(specs, config=RunnerConfig(cache_dir=tmp_path))
+    assert cold.stats.hit_wall_times_s == []
+    assert all(r.hit_wall_time_s == 0.0 for r in cold.results)
+    clear_memo()
+    warm = run_batch(specs, config=RunnerConfig(cache_dir=tmp_path))
+    # The lookup cost lands on hit_wall_time_s; wall_time_s stays 0.0
+    # because no simulation ran (replaying the original elapsed time
+    # would corrupt executed-run statistics).
+    assert len(warm.stats.hit_wall_times_s) == 3
+    assert all(t >= 0.0 for t in warm.stats.hit_wall_times_s)
+    for result in warm.results:
+        assert result.cached and result.worker == "disk"
+        assert result.wall_time_s == 0.0
+        assert result.hit_wall_time_s >= 0.0
+    assert warm.stats.run_wall_times_s == []

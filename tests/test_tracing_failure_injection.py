@@ -54,10 +54,32 @@ def test_event_log_eviction_scales():
     assert events[0].time == 49_900.0
     assert events[-1].time == 49_999.0
     assert log.counts() == {"tick": 50, "tock": 50}
+    # Half-open [start, end): the event exactly at the end boundary
+    # belongs to the next window, not this one.
     assert [e.time for e in log.between(49_997.0, 49_999.0)] \
-        == [49_997.0, 49_998.0, 49_999.0]
+        == [49_997.0, 49_998.0]
+    assert [e.time for e in log.between(49_999.0, 50_001.0)] \
+        == [49_999.0]
     assert all(e.kind == "tick" for e in log.of_kind("tick"))
     assert "n=49999" in log.render_timeline(limit=10)
+
+
+def test_event_log_between_is_half_open():
+    """Regression: ``between`` was inclusive on both ends, so an event
+    landing exactly on a window boundary appeared in two adjacent
+    windows.  With half-open ``[start, end)`` adjacent slices tile."""
+    log = EventLog()
+    for t in (0.0, 2.5, 5.0, 7.5, 10.0):
+        log.record(t, "x", "tick")
+    first = log.between(0.0, 5.0)
+    second = log.between(5.0, 10.0)
+    assert [e.time for e in first] == [0.0, 2.5]
+    assert [e.time for e in second] == [5.0, 7.5]
+    # No event is double-counted across the tiling...
+    assert len(first) + len(second) + len(log.between(10.0, 15.0)) \
+        == len(log)
+    # ...and the start boundary is inclusive, the end exclusive.
+    assert [e.time for e in log.between(2.5, 2.5)] == []
 
 
 def test_event_log_rejects_bad_capacity():

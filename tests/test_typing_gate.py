@@ -22,7 +22,7 @@ import pytest
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: the packages mypy.ini holds to the strict profile
-STRICT_PACKAGES = ("core", "runner")
+STRICT_PACKAGES = ("core", "obs", "runner")
 
 STRICT_FILES = sorted(path for package in STRICT_PACKAGES
                       for path in (SRC / package).glob("*.py"))

@@ -29,6 +29,10 @@ GEN104      event-class-missing-slots      hot ``*Event`` classes without
                                            ``__slots__``
 GEN105      shadowed-stream-name           one stream-name literal passed to
                                            ``.stream()`` from two call sites
+OBS001      adhoc-observability            ``print`` / stdout-stderr writes /
+                                           module-global ad-hoc counters inside
+                                           the instrumented simulation packages
+                                           (route through ``repro.obs``)
 ==========  =============================  =======================================
 """
 
@@ -52,6 +56,11 @@ class FileInfo:
         #: sim/random.py is the one module allowed to build raw generators —
         #: it is where the named-stream discipline is *implemented*.
         self.is_stream_factory = posix.endswith("sim/random.py")
+        #: The packages instrumented with repro.obs metrics; ad-hoc
+        #: observability (print / stdout writes / global counters) there
+        #: bypasses the deterministic export path (OBS001).
+        self.is_instrumented = any(
+            f"src/repro/{pkg}/" in posix for pkg in _INSTRUMENTED_PACKAGES)
         # Names bound to modules of interest by the file's imports.
         self.numpy_aliases: Set[str] = set()
         self.numpy_random_aliases: Set[str] = set()
@@ -434,6 +443,61 @@ def check_gen105(tree: ast.Module, info: FileInfo):
 
 
 # ---------------------------------------------------------------------------
+# OBS001 — ad-hoc observability in instrumented packages
+# ---------------------------------------------------------------------------
+
+#: Subpackages of src/repro that carry repro.obs instrumentation.  Code
+#: here must report through MetricsRegistry / EventLog so that serial,
+#: parallel and cached runs export byte-identical metrics; a stray
+#: ``print`` interleaves nondeterministically across worker processes and
+#: a module-global tally survives from one task to the next in-process.
+_INSTRUMENTED_PACKAGES = (
+    "sim", "core", "wifi", "voice", "runner", "channel", "net", "traffic",
+)
+
+_COUNTER_SUFFIXES = ("_count", "_counter", "_counts", "_total", "_calls")
+
+
+def check_obs001(tree: ast.Module, info: FileInfo):
+    """Ad-hoc observability bypasses repro.obs; metrics must merge.
+
+    Flags, inside the instrumented simulation packages only:
+
+    * ``print(...)`` calls — worker processes interleave them
+      nondeterministically and nothing folds them into the batch digest;
+    * ``sys.stdout`` / ``sys.stderr`` ``.write``/``.writelines`` — same
+      problem with the lid off;
+    * ``global <name>`` where the name looks like a tally
+      (``*_count``, ``*_total``, ...) — module-global counters leak
+      state across runner tasks sharing a worker process.
+
+    Use ``repro.obs``: a :class:`MetricsRegistry` counter/gauge/histogram
+    for numbers, :class:`EventLog` for traces."""
+    if not info.is_instrumented:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                if name.endswith(_COUNTER_SUFFIXES):
+                    yield (node.lineno, node.col_offset,
+                           f"module-global tally '{name}' leaks across "
+                           "runner tasks; use a repro.obs counter")
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name == "print":
+            yield (node.lineno, node.col_offset,
+                   "'print' in instrumented simulation code; record a "
+                   "repro.obs metric or EventLog entry instead")
+        elif (name in ("sys.stdout.write", "sys.stderr.write",
+                       "sys.stdout.writelines", "sys.stderr.writelines")):
+            yield (node.lineno, node.col_offset,
+                   f"'{name}' in instrumented simulation code; route "
+                   "output through repro.obs exporters")
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -448,6 +512,7 @@ ALL_RULES: Dict[str, Tuple[str, Callable]] = {
     "GEN103": ("float-time-equality", check_gen103),
     "GEN104": ("event-class-missing-slots", check_gen104),
     "GEN105": ("shadowed-stream-name", check_gen105),
+    "OBS001": ("adhoc-observability", check_obs001),
 }
 
 

@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test lint lint-baseline typecheck sanitize-test bench \
-	bench-smoke bench-full obs-smoke examples docs clean
+	bench-pytest bench-smoke bench-full obs-smoke examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,7 +13,10 @@ test:
 
 # Static-analysis pipeline, both stages:
 #   stage 1 (tools/reprolint)  — per-file determinism lint
-#   stage 2 (tools/reproflow)  — project-wide units / lifecycle / config
+#   stage 2 (tools/reproflow)  — project-wide passes on one shared parse:
+#                                pass 1 index, pass 2 units/lifecycle/
+#                                config, pass 3 interprocedural dataflow
+#                                (FLO/PUR/ORD)
 # Each fails on any finding not in its committed baseline; see
 # CONTRIBUTING.md for the rule tables and suppression syntax.
 lint:
@@ -43,7 +46,13 @@ sanitize-test:
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 
+# Perf trajectory baseline: the fixed scenario matrix, cache-cold and
+# cache-warm, written to BENCH_runner.json at the repo root.
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.bench
+
+# The pytest-benchmark micro-suite (per-component timings).
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s \
 		2>&1 | tee bench_output.txt
 

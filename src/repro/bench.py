@@ -1,0 +1,181 @@
+"""Benchmark harness: the perf trajectory baseline (``make bench``).
+
+Runs a small fixed scenario matrix through :mod:`repro.runner` twice per
+subsystem — once cache-cold (fresh content-addressed cache, every spec
+executes) and once cache-warm (same cache directory, every spec must
+hit) — and emits ``BENCH_runner.json`` at the repo root with
+sessions/sec per subsystem.  Wall time is measured with
+:class:`repro.obs.SpanTracker` spans bound to the process clock, so the
+span histograms land in the embedded metrics blob alongside the rates.
+
+All wall-clock reads here are telemetry: they describe how fast the
+simulator ran, and never feed back into simulated behaviour (the repo's
+sanctioned-telemetry convention).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench            # writes BENCH_runner.json
+    PYTHONPATH=src python -m repro.bench --output x.json --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import MetricsRegistry, SpanTracker, to_canonical_json
+from repro.runner import RunSpec, RunnerConfig, run_batch
+
+SCHEMA = "repro-bench/1"
+DEFAULT_OUTPUT = "BENCH_runner.json"
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One subsystem's fixed workload: a task and its seed range."""
+
+    name: str
+    task: str
+    n_seeds: int
+    seed0: int = 0
+    task_config: Optional[Mapping[str, Any]] = None
+
+
+#: the fixed matrix — small on purpose: the numbers are a trajectory
+#: baseline, not a load test.  One entry per subsystem the roadmap's
+#: perf work targets (wifi channel+session sim, paired TCP sessions,
+#: switch micro-benchmark, middlebox retrieval path).
+DEFAULT_MATRIX: Tuple[BenchEntry, ...] = (
+    BenchEntry("wifi_session",
+               "repro.experiments.section6:office_run_metrics", 4),
+    BenchEntry("wifi_tcp",
+               "repro.experiments.section6:tcp_throughput_metrics", 2),
+    BenchEntry("net_switch",
+               "repro.experiments.section6:switch_delay_metrics", 8),
+    BenchEntry("net_middlebox",
+               "repro.experiments.section6:mbox_retrieval_metrics", 8),
+)
+
+
+def _scaled(matrix: Sequence[BenchEntry], scale: float
+            ) -> List[BenchEntry]:
+    if scale == 1.0:
+        return list(matrix)
+    return [BenchEntry(e.name, e.task,
+                       max(1, int(round(e.n_seeds * scale))),
+                       e.seed0, e.task_config)
+            for e in matrix]
+
+
+def _specs(entry: BenchEntry) -> List[RunSpec]:
+    config = dict(entry.task_config or {})
+    return [RunSpec.build(entry.task, seed, config)
+            for seed in range(entry.seed0, entry.seed0 + entry.n_seeds)]
+
+
+def _phase(entry: BenchEntry, tracker: SpanTracker, cache_dir: Path,
+           phase: str) -> Dict[str, Any]:
+    """One timed pass over the entry's specs.
+
+    ``cold`` bypasses cache reads (but still writes, priming the warm
+    pass); ``warm`` reads the cache populated by the cold pass.
+    """
+    specs = _specs(entry)
+    config = RunnerConfig(cache_dir=cache_dir, no_cache=(phase == "cold"),
+                          memo=False)
+    with tracker.span(f"bench.{entry.name}", phase=phase) as span:
+        batch = run_batch(specs, config=config)
+    duration = span.end()
+    sessions = len(specs)
+    return {
+        "sessions": sessions,
+        "wall_s": round(duration, 6),
+        "sessions_per_s": round(sessions / duration, 3)
+        if duration > 0 else None,
+        "executed": batch.stats.executed,
+        "cache_hits": batch.stats.cache_hits,
+        "digest": batch.digest,
+    }
+
+
+def run_bench(matrix: Optional[Sequence[BenchEntry]] = None,
+              scale: float = 1.0,
+              cache_dir: Optional[Path] = None) -> Dict[str, Any]:
+    """Execute the matrix and return the ``BENCH_runner.json`` payload."""
+    entries = _scaled(matrix if matrix is not None else DEFAULT_MATRIX,
+                      scale)
+    registry = MetricsRegistry()
+    tracker = SpanTracker(clock=time.perf_counter, registry=registry,
+                          source="bench")
+
+    owns_cache = cache_dir is None
+    cache_root = Path(tempfile.mkdtemp(prefix="repro-bench-")) \
+        if owns_cache else Path(cache_dir)
+    try:
+        subsystems: Dict[str, Any] = {}
+        for entry in entries:
+            subsystems[entry.name] = {
+                "task": entry.task,
+                "cache_cold": _phase(entry, tracker, cache_root, "cold"),
+                "cache_warm": _phase(entry, tracker, cache_root, "warm"),
+            }
+    finally:
+        if owns_cache:
+            shutil.rmtree(cache_root, ignore_errors=True)
+
+    return {
+        "schema": SCHEMA,
+        "generated_by": "make bench (repro.bench)",
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+        "matrix": {e.name: e.n_seeds for e in entries},
+        "subsystems": subsystems,
+        "spans": json.loads(to_canonical_json(registry)),
+    }
+
+
+def write_bench(path: Path,
+                matrix: Optional[Sequence[BenchEntry]] = None,
+                scale: float = 1.0) -> Dict[str, Any]:
+    """Run the matrix and write the payload to ``path`` as sorted JSON."""
+    payload = run_bench(matrix=matrix, scale=scale)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for ``make bench`` / ``python -m repro.bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Run the fixed benchmark matrix and emit "
+                    "BENCH_runner.json.")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="output path (default: %(default)s)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scale every entry's seed count "
+                             "(default: 1.0)")
+    args = parser.parse_args(argv)
+
+    payload = write_bench(Path(args.output), scale=args.scale)
+    for name, result in sorted(payload["subsystems"].items()):
+        cold = result["cache_cold"]
+        warm = result["cache_warm"]
+        print(f"{name:16s} cold {cold['sessions_per_s']:>10} /s   "
+              f"warm {warm['sessions_per_s']:>10} /s   "
+              f"({cold['sessions']} sessions)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

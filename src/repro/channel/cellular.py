@@ -24,6 +24,7 @@ import numpy as np
 from repro.channel.gilbert import GilbertElliott, GilbertParams
 from repro.core.config import StreamProfile
 from repro.core.packet import DeliveryRecord, LinkTrace
+from repro.sim.random import RandomRouter
 
 
 @dataclass
@@ -46,7 +47,8 @@ class CellularConfig:
 class CellularLink:
     """An LTE-like link with HARQ-clean loss and rare deep outages."""
 
-    def __init__(self, config: CellularConfig, rng_router):
+    def __init__(self, config: CellularConfig,
+                 rng_router: RandomRouter) -> None:
         self.config = config
         self.name = config.name
         prefix = f"cell.{config.name}"

@@ -13,6 +13,8 @@ MIMO helps against multipath fading but not against shadowing/interference.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 
@@ -25,7 +27,7 @@ class RayleighFading:
             raise ValueError("coherence time must be positive")
         self._rng = rng
         self.coherence_time_s = coherence_time_s
-        self._time = None
+        self._time: Optional[float] = None
         # complex gain, unit average power: Re/Im ~ N(0, 1/2)
         self._gain = self._fresh_gain()
 

@@ -24,6 +24,7 @@ backs large Section 4-style sweeps and user calibration loops.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from repro.channel.link import LinkConfig
 from repro.channel.mobility import Position
 from repro.core.config import StreamProfile
 from repro.core.packet import LinkTrace
+from repro.sim.random import RandomRouter
 from repro.wifi.phy import frame_error_prob, select_mcs
 
 
@@ -90,7 +92,7 @@ class FastLinkRenderer:
     config: LinkConfig
     client_position: Position
 
-    def render(self, profile: StreamProfile, rng_router,
+    def render(self, profile: StreamProfile, rng_router: RandomRouter,
                start_time: float = 0.0) -> LinkTrace:
         """One call's LinkTrace, vectorized."""
         config = self.config
@@ -160,7 +162,8 @@ class FastLinkRenderer:
 
 def render_fast_pair(config_a: LinkConfig, config_b: LinkConfig,
                      client_position: Position,
-                     profile: StreamProfile, rng_router):
+                     profile: StreamProfile, rng_router: RandomRouter
+                     ) -> Tuple[LinkTrace, LinkTrace]:
     """Two independent fast traces for one client position."""
     a = FastLinkRenderer(config_a, client_position).render(
         profile, rng_router)

@@ -18,6 +18,8 @@ Each process answers two time-indexed queries used by the link model:
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 
@@ -157,7 +159,7 @@ class CongestionProcess:
 class CompositeInterference:
     """Sum of several interference processes acting on one link."""
 
-    def __init__(self, *processes):
+    def __init__(self, *processes: Any) -> None:
         self._processes = list(processes)
 
     def snr_penalty_db(self, time: float) -> float:

@@ -20,7 +20,7 @@ structure that Figure 4/5 measure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,7 +36,9 @@ from repro.channel.pathloss import LogDistancePathLoss, PathLossParams
 from repro.core.packet import DeliveryRecord, LinkTrace
 from repro.core.config import StreamProfile
 from repro.wifi.mac import MacConfig, MacLayer
+from repro.sim.random import RandomRouter
 from repro.wifi.phy import (
+    Mcs,
     PhyConfig,
     airtime_s,
     effective_snr_db,
@@ -75,8 +77,8 @@ class LinkConfig:
 class WifiLink:
     """A live link: stateful channel processes plus a MAC retry engine."""
 
-    def __init__(self, config: LinkConfig, rng_router, mobility=None,
-                 interference=None):
+    def __init__(self, config: LinkConfig, rng_router: RandomRouter,
+                 mobility: Any = None, interference: Any = None) -> None:
         self.config = config
         self.name = config.name
         prefix = f"link.{config.name}"
@@ -85,6 +87,7 @@ class WifiLink:
         self._pathloss = LogDistancePathLoss(
             config.pathloss, rng_router.stream(f"{prefix}.shadow"))
         fading_rng = rng_router.stream(f"{prefix}.fading")
+        self._fading: Union[RayleighFading, SelectionDiversityFading]
         if config.phy.n_spatial_branches > 1:
             self._fading = SelectionDiversityFading(
                 fading_rng, config.phy.n_spatial_branches,
@@ -136,7 +139,7 @@ class WifiLink:
         return self._pathloss.snr_db(self.distance_m(time))
 
     @property
-    def mcs(self):
+    def mcs(self) -> Mcs:
         """The currently selected modulation-and-coding scheme."""
         return self._mcs
 
@@ -208,9 +211,11 @@ class WifiLink:
         return LinkTrace(self.name, send_times, delivered, delays)
 
 
-def paired_links(config_a: LinkConfig, config_b: LinkConfig, rng_router,
-                 mobility=None, shared_interference=None,
-                 interference_a=None, interference_b=None):
+def paired_links(config_a: LinkConfig, config_b: LinkConfig,
+                 rng_router: RandomRouter,
+                 mobility: Any = None, shared_interference: Any = None,
+                 interference_a: Any = None, interference_b: Any = None
+                 ) -> Tuple["WifiLink", "WifiLink"]:
     """Two links for one client, as in the two-NIC experiments.
 
     ``shared_interference`` (e.g. one :class:`MicrowaveOven` hitting both
@@ -218,7 +223,7 @@ def paired_links(config_a: LinkConfig, config_b: LinkConfig, rng_router,
     interference keeps them independent.  A shared mobility model moves the
     client relative to both APs at once.
     """
-    def combine(own):
+    def combine(own: Any) -> Any:
         if shared_interference is None and own is None:
             return None
         if shared_interference is None:

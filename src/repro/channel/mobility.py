@@ -10,7 +10,7 @@ diagonal corners of a 30 m x 15 m floor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class RandomWaypointMobility:
                  floor: Tuple[float, float] = (30.0, 15.0),
                  speed_range: Tuple[float, float] = (0.5, 1.5),
                  pause_s: float = 2.0,
-                 start: Position = None):
+                 start: Optional[Position] = None):
         self._rng = rng
         self.floor = floor
         self.speed_range = speed_range

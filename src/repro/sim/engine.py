@@ -141,7 +141,7 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            if self._sanitize:
+            if self._digest is not None:
                 if event.time < self._now - 1e-12:
                     raise HeapOrderError(
                         f"event queue yielded t={event.time:.9f} after the "

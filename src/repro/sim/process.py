@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import Event, SimulationError, Simulator
 
 
 class Timeout:
@@ -82,7 +82,7 @@ class Process:
         self.alive = True
         #: value returned by the generator (via ``return x``), if any
         self.result: Any = None
-        self._pending_event = None
+        self._pending_event: Optional[Event] = None
         # Start at the current instant, but via the queue so that processes
         # created inside an event handler do not run re-entrantly.
         self._pending_event = sim.call_in(0.0, self._resume, None)

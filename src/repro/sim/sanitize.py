@@ -58,13 +58,13 @@ class DeterminismDigest:
         self.events = 0
 
     @staticmethod
-    def _label(callback) -> str:
+    def _label(callback: object) -> str:
         # Never repr(): bound-method reprs embed memory addresses, which
         # would make the digest differ across identical runs.
         name = getattr(callback, "__qualname__", None)
         return name if name else type(callback).__name__
 
-    def update(self, time: float, seq: int, callback) -> None:
+    def update(self, time: float, seq: int, callback: object) -> None:
         record = f"{time!r}|{seq}|{self._label(callback)}\n"
         self._hash.update(record.encode("utf-8"))
         self.events += 1

@@ -1,0 +1,78 @@
+"""Tests for the benchmark harness (``repro.bench``) and the committed
+``BENCH_runner.json`` artifact's schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BenchEntry,
+    DEFAULT_MATRIX,
+    SCHEMA,
+    run_bench,
+    write_bench,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: a matrix of only the cheap micro-benchmarks, so the test stays fast
+FAST_MATRIX = (
+    BenchEntry("net_switch",
+               "repro.experiments.section6:switch_delay_metrics", 2),
+)
+
+PHASE_KEYS = {"sessions", "wall_s", "sessions_per_s", "executed",
+              "cache_hits", "digest"}
+
+
+def _validate(payload):
+    assert payload["schema"] == SCHEMA
+    assert isinstance(payload["matrix"], dict) and payload["matrix"]
+    assert set(payload["matrix"]) == set(payload["subsystems"])
+    for name, result in payload["subsystems"].items():
+        assert ":" in result["task"]
+        for phase in ("cache_cold", "cache_warm"):
+            stats = result[phase]
+            assert PHASE_KEYS <= set(stats), (name, phase)
+            assert stats["sessions"] >= 1
+            assert stats["wall_s"] >= 0.0
+            assert stats["sessions_per_s"] is None \
+                or stats["sessions_per_s"] > 0.0
+    assert "metrics" in payload["spans"]
+
+
+def test_run_bench_fast_matrix():
+    payload = run_bench(matrix=FAST_MATRIX)
+    _validate(payload)
+    result = payload["subsystems"]["net_switch"]
+    # cold pass executes everything; warm pass hits the cache for
+    # everything, with the identical batch digest
+    assert result["cache_cold"]["executed"] == 2
+    assert result["cache_warm"]["cache_hits"] == 2
+    assert result["cache_warm"]["executed"] == 0
+    assert result["cache_cold"]["digest"] == result["cache_warm"]["digest"]
+
+
+def test_write_bench_round_trips(tmp_path):
+    out = tmp_path / "BENCH_runner.json"
+    write_bench(out, matrix=FAST_MATRIX)
+    payload = json.loads(out.read_text())
+    _validate(payload)
+
+
+def test_scale_shrinks_but_never_empties():
+    scaled = run_bench(matrix=FAST_MATRIX, scale=0.01)
+    assert scaled["matrix"]["net_switch"] == 1
+
+
+def test_default_matrix_covers_subsystems():
+    names = {e.name for e in DEFAULT_MATRIX}
+    assert {"wifi_session", "wifi_tcp", "net_switch",
+            "net_middlebox"} <= names
+
+
+def test_committed_artifact_is_valid():
+    committed = REPO / "BENCH_runner.json"
+    assert committed.exists(), "run `make bench` and commit the result"
+    _validate(json.loads(committed.read_text()))

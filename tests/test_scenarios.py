@@ -26,7 +26,7 @@ def test_sample_scenario_name_distribution():
     rng = RandomRouter(0).stream("pick")
     names = [sample_scenario_name(rng) for _ in range(3000)]
     counts = {name: names.count(name) / len(names)
-              for name in {n for n in names}}
+              for name in sorted(set(names))}
     for spec in WILD_MIX:
         assert counts.get(spec.name, 0.0) == pytest.approx(
             spec.weight, abs=0.04)

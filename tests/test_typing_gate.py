@@ -1,10 +1,11 @@
 """Annotation-completeness gate for the strict packages.
 
-``make typecheck`` runs ``mypy --strict`` over ``repro.core`` and
-``repro.runner``, but mypy is an optional dev dependency; this test is
-the always-on proxy that keeps both packages' public surfaces fully
-annotated, so a strict mypy run never regresses silently on machines
-without it.
+``make typecheck`` runs mypy with strict profiles over ``repro.core``,
+``repro.runner`` and ``repro.obs``, and strict-lite profiles (see
+``mypy.ini``) over ``repro.sim`` and ``repro.channel`` — but mypy is an
+optional dev dependency; this test is the always-on proxy that keeps
+every gated package's public surface fully annotated, so a strict mypy
+run never regresses silently on machines without it.
 
 Every function and method in a strict package must annotate every
 parameter (``self``/``cls``/``*args``/``**kwargs`` positions included
@@ -21,8 +22,8 @@ import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: the packages mypy.ini holds to the strict profile
-STRICT_PACKAGES = ("core", "obs", "runner")
+#: the packages mypy.ini holds to a strict or strict-lite profile
+STRICT_PACKAGES = ("channel", "core", "obs", "runner", "sim")
 
 STRICT_FILES = sorted(path for package in STRICT_PACKAGES
                       for path in (SRC / package).glob("*.py"))

@@ -1,4 +1,10 @@
-"""Two-pass driver: parse everything once, index, then analyze.
+"""Three-pass driver: parse everything once, index, graph, then analyze.
+
+One parse feeds all passes: pass 1 builds the :class:`ProjectIndex`,
+pass 3a builds the :class:`CallGraph` (with effect summaries propagated
+to fixpoint) on the *same* trees, and the per-file analyzers of passes
+2 and 3b both run off that shared state — ``make lint`` pays for the
+filesystem walk and parsing exactly once no matter how many passes run.
 
 ``analyze_paths`` always folds ``src/`` into the pass-1 index (when it
 exists) even if only a subset of files was asked for — cross-module
@@ -19,6 +25,8 @@ from lintcore.policy import PathPolicy
 from lintcore.suppress import is_suppressed, parse_suppressions
 from lintcore.walk import iter_python_files
 
+from reproflow.callgraph import CallGraph, build_callgraph
+from reproflow.dataflow import Pass3Analyzer, Summaries, propagate_effects
 from reproflow.index import ProjectIndex, build_index
 from reproflow.policy import DEFAULT_POLICY
 from reproflow.rules import ALL_RULES, ScopeAnalyzer
@@ -38,12 +46,17 @@ def _parse(source: str, path: str
 
 def _analyze_tree(path: str, tree: ast.Module, source: str,
                   index: ProjectIndex,
-                  rules: Optional[Sequence[str]]) -> List[Finding]:
+                  rules: Optional[Sequence[str]],
+                  graph: Optional[CallGraph] = None,
+                  summaries: Optional[Summaries] = None) -> List[Finding]:
     lines = source.splitlines()
     suppressions = parse_suppressions(lines, tool="reproflow")
     selected = set(rules) if rules is not None else set(ALL_RULES)
+    raw = list(ScopeAnalyzer(path, index).analyze(tree))
+    if graph is not None and summaries is not None:
+        raw += Pass3Analyzer(path, index, graph, summaries).analyze(tree)
     findings: List[Finding] = []
-    for lineno, col, rule_id, message in ScopeAnalyzer(path, index).analyze(tree):
+    for lineno, col, rule_id, message in raw:
         if rule_id not in selected:
             continue
         if is_suppressed(suppressions, lineno, rule_id):
@@ -68,12 +81,17 @@ def analyze_source(source: str, path: str,
         return [parse_error]
     assert tree is not None
     trees: Dict[str, ast.Module] = {path: tree}
+    sources: Dict[str, str] = {path: source}
     for extra_path, extra_source in (extra or {}).items():
         extra_tree, _ = _parse(extra_source, extra_path)
         if extra_tree is not None:
             trees[extra_path] = extra_tree
+            sources[extra_path] = extra_source
     index = build_index(trees)
-    findings = _analyze_tree(path, tree, source, index, rules)
+    graph = build_callgraph(trees, sources, index)
+    summaries = propagate_effects(graph)
+    findings = _analyze_tree(path, tree, source, index, rules,
+                             graph, summaries)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -108,12 +126,15 @@ def analyze_paths(paths: Iterable[str],
             parse_findings.append(parse_error)
 
     index = build_index(trees)
+    graph = build_callgraph(trees, sources, index)
+    summaries = propagate_effects(graph)
     findings = list(parse_findings)
     for path in targets:
         if path not in trees:
             continue
         findings.extend(
-            _analyze_tree(path, trees[path], sources[path], index, rules))
+            _analyze_tree(path, trees[path], sources[path], index, rules,
+                          graph, summaries))
     if policy is not None:
         findings = [f for f in findings
                     if not policy.exempt(f.path, f.rule)]

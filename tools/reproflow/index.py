@@ -92,6 +92,10 @@ class ProjectIndex:
     packet_classes: Set[str] = field(default_factory=set)
     #: classes that look like per-copy delivery records
     record_classes: Set[str] = field(default_factory=set)
+    #: instance-attribute names that hold a ``set``/``frozenset`` anywhere
+    #: in the project (``self.x = set()`` or a ``Set[...]`` annotation) —
+    #: pass 3's ORD family treats loads of these as unordered
+    set_attributes: Set[str] = field(default_factory=set)
 
     # -- resolution helpers -------------------------------------------
 
@@ -261,6 +265,7 @@ def _index_module(index: ProjectIndex, path: str, tree: ast.Module) -> None:
                 index.packet_classes.add(node.name)
             if _looks_like_record(node):
                 index.record_classes.add(node.name)
+            _collect_set_attributes(index, node)
 
     # Module-level functions only (methods were handled above).
     class_members = {id(stmt)
@@ -270,6 +275,47 @@ def _index_module(index: ProjectIndex, path: str, tree: ast.Module) -> None:
     for node in tree.body:
         if isinstance(node, ast.FunctionDef) and id(node) not in class_members:
             _insert_function(index, _func_schema(node, path, is_method=False))
+
+
+_SET_ANNOTATION_NAMES = {"Set", "FrozenSet", "MutableSet", "set",
+                         "frozenset", "AbstractSet"}
+
+
+def _is_set_annotation(annotation: Optional[ast.AST]) -> bool:
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATION_NAMES
+    return isinstance(node, ast.Name) and node.id in _SET_ANNOTATION_NAMES
+
+
+def _is_set_valued(value: Optional[ast.AST]) -> bool:
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in ("set", "frozenset")
+    return False
+
+
+def _collect_set_attributes(index: ProjectIndex, cls: ast.ClassDef) -> None:
+    """Record attribute names bound to sets (annotation or assignment)."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name) \
+                and _is_set_annotation(stmt.annotation):
+            index.set_attributes.add(stmt.target.id)
+    for node in ast.walk(cls):
+        target: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if _is_set_valued(node.value) and isinstance(target,
+                                                         ast.Attribute):
+                index.set_attributes.add(target.attr)
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Attribute) \
+                and _is_set_annotation(node.annotation):
+            index.set_attributes.add(node.target.attr)
 
 
 def _insert_class(index: ProjectIndex, schema: ClassSchema) -> None:

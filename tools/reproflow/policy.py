@@ -10,6 +10,14 @@ Rationale per entry:
     * LIF003 — tests assert on ``delay``/``arrival_time`` of packets
       they *know* were delivered (they arranged the loss pattern); a
       ``delivered`` guard would only obscure the assertion.
+    * FLO003 — the paired identical-realization methodology *is* seed
+      reuse: determinism tests run the same seed twice (often in a
+      ``for _ in range(2)`` loop) and assert byte-identical digests.
+      Flagging that loop would flag the repo's core test pattern.
+      PUR and the other FLO rules still apply in full — a test that
+      submits an impure task or leaks a stream into module state is a
+      real bug (see the inline PUR102 suppressions in
+      ``tests/test_runner.py`` for the sanctioned sleep-task sites).
 
 ``tools/``
     is analysis tooling, not simulation code; it has no packets,
@@ -31,6 +39,6 @@ from __future__ import annotations
 from lintcore.policy import PathPolicy
 
 DEFAULT_POLICY = PathPolicy((
-    ("tests/", ("LIF002", "LIF003")),
+    ("tests/", ("LIF002", "LIF003", "FLO003")),
     ("src/repro/runner/", ()),
 ))

@@ -605,6 +605,31 @@ ALL_RULES: Dict[str, Tuple[str, str]] = {
     "CFG002": ("config-dict-key-mismatch",
                "Config dict spread into a constructor with keys outside "
                "the schema."),
+    # pass 3 (interprocedural dataflow — reproflow.dataflow)
+    "FLO001": ("stream-aliased",
+               "One RandomRouter stream handed to two components (or "
+               "handed out inside a loop over links/sessions)."),
+    "FLO002": ("stream-escapes-module-state",
+               "A stream stored into module-level, global, or "
+               "class-attribute state."),
+    "FLO003": ("seed-reuse-across-runs",
+               "RandomRouter/fork constructed in a realization loop "
+               "with a loop-invariant seed."),
+    "PUR101": ("impure-task-state",
+               "A runner task transitively mutates module/global or "
+               "closure state (stale ResultCache)."),
+    "PUR102": ("impure-task-clock",
+               "A runner task transitively reads the wall clock "
+               "(unsanctioned)."),
+    "PUR103": ("impure-task-rng",
+               "A runner task transitively draws from an unrouted "
+               "RNG."),
+    "ORD201": ("unordered-iteration-to-state",
+               "set/unordered iteration flowing into ordered state, "
+               "schedules, keyed writes, or digests."),
+    "ORD202": ("unordered-float-accumulation",
+               "Float accumulation (sum/fsum/+=) over an unordered "
+               "iterable."),
 }
 
 

@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint lint-baseline typecheck sanitize-test bench \
-	bench-pytest bench-smoke bench-full obs-smoke examples docs clean
+	bench-compare bench-pytest bench-smoke bench-full obs-smoke \
+	examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,7 +17,8 @@ test:
 #   stage 2 (tools/reproflow)  — project-wide passes on one shared parse:
 #                                pass 1 index, pass 2 units/lifecycle/
 #                                config, pass 3 interprocedural dataflow
-#                                (FLO/PUR/ORD)
+#                                (FLO/PUR/ORD), pass 4 concurrency &
+#                                serialization safety (SER/IMP/KEY)
 # Each fails on any finding not in its committed baseline; see
 # CONTRIBUTING.md for the rule tables and suppression syntax.
 lint:
@@ -50,6 +52,12 @@ test-output:
 # cache-warm, written to BENCH_runner.json at the repo root.
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
+
+# Diff a fresh benchmark run against the committed BENCH_runner.json;
+# exits 1 when any subsystem lost >25% of its baseline sessions/sec.
+# Cross-machine numbers are informational (CI runs this non-blocking).
+bench-compare:
+	PYTHONPATH=src $(PYTHON) tools/bench_compare.py
 
 # The pytest-benchmark micro-suite (per-component timings).
 bench-pytest:

@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import experiments
 from repro.obs import merge_metrics_json, to_canonical_json
-from repro.runner import BatchResult, runner_context
+from repro.runner import BatchResult, ResultCache, runner_context
 
 #: command -> (runner(runs, seed) -> result, default runs, description)
 _COMMANDS: Dict[str, Tuple[Callable, Optional[int], str]] = {
@@ -108,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="content-addressed on-disk result cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass cached results and recompute")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="after the command completes, prune the "
+                             "--cache-dir store to at most N bytes "
+                             "(least-recently-used entries first)")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="write the command's merged metrics as "
                              "canonical JSON ('-' for stdout); "
@@ -163,7 +168,8 @@ def run_command(name: str, runs: Optional[int], seed: int,
                 out=sys.stdout, jobs: int = 1,
                 cache_dir: Optional[str] = None,
                 no_cache: bool = False,
-                metrics_out: Optional[str] = None) -> None:
+                metrics_out: Optional[str] = None,
+                cache_max_bytes: Optional[int] = None) -> None:
     """Execute one experiment and print its rendering."""
     runner, _, description = _COMMANDS[name]
     batches: List[BatchResult] = []
@@ -180,6 +186,12 @@ def run_command(name: str, runs: Optional[int], seed: int,
     _runner_footer(name, batches, jobs, out)
     if metrics_out is not None:
         _write_metrics(batches, metrics_out, out)
+    if cache_max_bytes is not None and cache_dir is not None:
+        store = ResultCache(cache_dir)
+        removed = store.prune(cache_max_bytes)
+        print(f"[cache {name}: pruned {removed} "
+              f"entr{'y' if removed == 1 else 'ies'}; "
+              f"{store.size_bytes()} bytes retained]", file=out)
 
 
 def main(argv=None, out=sys.stdout) -> int:
@@ -196,15 +208,20 @@ def main(argv=None, out=sys.stdout) -> int:
             print("--metrics-out applies to a single command, not 'all'",
                   file=sys.stderr)
             return 2
-        for name in sorted(_COMMANDS):
+        names = sorted(_COMMANDS)
+        for i, name in enumerate(names):
             print(f"\n===== {name} =====", file=out)
+            # Prune once, after the last command, so earlier artifacts'
+            # entries stay warm for any command that shares them.
+            prune = args.cache_max_bytes if i == len(names) - 1 else None
             run_command(name, args.runs, args.seed, out=out,
                         jobs=args.jobs, cache_dir=args.cache_dir,
-                        no_cache=args.no_cache)
+                        no_cache=args.no_cache, cache_max_bytes=prune)
         return 0
     run_command(args.command, args.runs, args.seed, out=out,
                 jobs=args.jobs, cache_dir=args.cache_dir,
-                no_cache=args.no_cache, metrics_out=args.metrics_out)
+                no_cache=args.no_cache, metrics_out=args.metrics_out,
+                cache_max_bytes=args.cache_max_bytes)
     return 0
 
 

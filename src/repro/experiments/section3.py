@@ -1,24 +1,89 @@
-"""Section 3 drivers: Table 1, Table 2, Figure 1."""
+"""Section 3 drivers: Table 1, Table 2, Figure 1.
+
+Each artifact's unit of work is a module-level task function
+(:func:`table1_metrics`, :func:`table2_metrics`, :func:`figure1_metrics`)
+executed through :mod:`repro.runner`, matching the Section 4-6 drivers:
+the studies parallelize with ``--jobs``, cache per seed/config, and the
+CLI prints the runner telemetry footer for them.  The task payloads are
+plain JSON (lists and scalars); the drivers rebuild the result
+dataclasses from them.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
 from repro.analysis.report import render_table
-from repro.studies.nettest import NetTestDataset, run_nettest_study
+from repro.runner import map_task
+from repro.studies.nettest import (
+    NetTestCall,
+    NetTestDataset,
+    run_nettest_study,
+)
 from repro.studies.provider import (
     Table1Row,
     analyze_table1,
     synthesize_provider_year,
 )
 from repro.studies.scan import (
+    SURVEY_LOCATIONS,
     SurveyLocation,
     residential_multi_bssid_fraction,
     run_site_survey,
 )
+
+#: runner entry points for the Section 3 studies
+TABLE1_TASK = "repro.experiments.section3:table1_metrics"
+TABLE2_TASK = "repro.experiments.section3:table2_metrics"
+FIGURE1_TASK = "repro.experiments.section3:figure1_metrics"
+
+
+# ---------------------------------------------------------------------------
+# per-seed tasks (the repro.runner units of work)
+
+def table1_metrics(seed: int, *, n_calls: int = 200_000) -> Dict[str, Any]:
+    """Synthesize one provider year and run the subset analysis."""
+    dataset = synthesize_provider_year(n_calls=n_calls, seed=seed)
+    return {
+        "rows": [[row.label, float(row.delta_ee_pct),
+                  float(row.delta_ew_pct), float(row.delta_ww_pct),
+                  int(row.n_calls)]
+                 for row in analyze_table1(dataset)],
+        "overall_pcr": float(dataset.pcr()),
+        "n_rated_calls": len(dataset.calls),
+    }
+
+
+def table2_metrics(seed: int, *, scale: float = 1.0) -> Dict[str, Any]:
+    """One full NetTest study; the raw scored calls are the payload.
+
+    Every Table 2 aggregate (category PCRs, per-user spatial stats) is a
+    pure function of the call list, so shipping the calls keeps the task
+    re-usable for any downstream cut without growing the cache key.
+    """
+    dataset = run_nettest_study(seed=seed, scale=scale)
+    return {"calls": [[call.category, int(call.client_a),
+                       int(call.client_b), float(call.mos)]
+                      for call in dataset.calls]}
+
+
+def figure1_metrics(seed: int) -> Dict[str, Any]:
+    """The site survey plus the residential availability check.
+
+    Counts are keyed by position: ``run_site_survey`` scans
+    ``SURVEY_LOCATIONS`` in order, so the driver zips the counts back
+    onto the location metadata.
+    """
+    survey = run_site_survey(seed=seed)
+    return {
+        "counts": [[int(scan.n_bssids), int(scan.n_channels)]
+                   for _, scan in survey],
+        "residential_multi_fraction": float(
+            residential_multi_bssid_fraction(seed=seed)),
+    }
 
 
 # ----------------------------------------------------------------- Table 1
@@ -45,10 +110,13 @@ class Table1Result:
 
 def run_table1(n_calls: int = 200_000, seed: int = 0) -> Table1Result:
     """Synthesize the provider year and run the subset analysis."""
-    dataset = synthesize_provider_year(n_calls=n_calls, seed=seed)
-    return Table1Result(rows=analyze_table1(dataset),
-                        overall_pcr=dataset.pcr(),
-                        n_rated_calls=len(dataset.calls))
+    (payload,) = map_task(TABLE1_TASK, [seed], {"n_calls": n_calls})
+    return Table1Result(
+        rows=[Table1Row(label=label, delta_ee_pct=ee, delta_ew_pct=ew,
+                        delta_ww_pct=ww, n_calls=n)
+              for label, ee, ew, ww, n in payload["rows"]],
+        overall_pcr=payload["overall_pcr"],
+        n_rated_calls=payload["n_rated_calls"])
 
 
 # ----------------------------------------------------------------- Table 2
@@ -77,7 +145,10 @@ class Table2Result:
 
 def run_table2(seed: int = 0, scale: float = 1.0) -> Table2Result:
     """Simulate the NetTest study (9224 calls at scale=1)."""
-    dataset = run_nettest_study(seed=seed, scale=scale)
+    (payload,) = map_task(TABLE2_TASK, [seed], {"scale": scale})
+    dataset = NetTestDataset(calls=[
+        NetTestCall(category=category, client_a=a, client_b=b, mos=mos)
+        for category, a, b, mos in payload["calls"]])
     frac_any, frac_20 = dataset.spatial_stats()
     return Table2Result(dataset=dataset,
                         frac_users_any_poor=frac_any,
@@ -121,10 +192,9 @@ class Figure1Result:
 
 def run_figure1(seed: int = 0) -> Figure1Result:
     """Run the site survey and the residential availability check."""
-    survey = run_site_survey(seed=seed)
-    locations = [(loc, scan.n_bssids, scan.n_channels)
-                 for loc, scan in survey]
+    (payload,) = map_task(FIGURE1_TASK, [seed])
     return Figure1Result(
-        locations=locations,
-        residential_multi_fraction=residential_multi_bssid_fraction(
-            seed=seed))
+        locations=[(loc, bssids, channels)
+                   for loc, (bssids, channels)
+                   in zip(SURVEY_LOCATIONS, payload["counts"])],
+        residential_multi_fraction=payload["residential_multi_fraction"])

@@ -9,7 +9,10 @@ Two layers:
   leave a torn entry — the last complete write wins and both are valid.
   Anything unreadable (truncated JSON, schema drift, a key mismatch from
   a hand-edited file) is treated as a miss: the entry is deleted and the
-  run recomputed.
+  run recomputed.  :meth:`ResultCache.prune` bounds the store's total
+  size by unlinking least-recently-used entries; every hit refreshes the
+  entry's timestamps explicitly, so the LRU order survives ``noatime``
+  and ``relatime`` mounts.
 * an in-process memo — spec key -> canonical payload JSON.  This is what
   lets ``python -m repro all`` share one wild dataset across Figures
   2a/2b/2c/4/5 the way the old ``lru_cache`` did, without any disk
@@ -23,7 +26,7 @@ import itertools
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.runner.spec import RunSpec, canonical_json
 
@@ -90,6 +93,7 @@ class ResultCache:
             # recovery is to delete it and recompute the run.
             self._discard(path)
             return None
+        self._touch(path)
         return payload_json, metrics_json
 
     def put(self, spec: RunSpec, payload_json: str,
@@ -118,6 +122,77 @@ class ResultCache:
             f".{spec.key}.{os.getpid()}.{next(_TEMP_COUNTER)}.tmp")
         temp.write_text(canonical_json(entry), encoding="utf-8")
         os.replace(temp, path)
+
+    def entries(self) -> Iterator[Path]:
+        """Every entry file currently in the store (racy by nature)."""
+        return self.root.glob("??/*.json")
+
+    def size_bytes(self) -> int:
+        """Total bytes of all readable entries right now."""
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - racing deleters
+                continue
+        return total
+
+    def prune(self, max_bytes: int) -> int:
+        """Unlink least-recently-used entries until the store fits in
+        ``max_bytes``; returns the number of entries removed.
+
+        Eviction order is oldest access first (atime, then mtime, then
+        file name as a deterministic tie-break).  Each eviction is a
+        single atomic ``unlink``, so a concurrent reader either wins the
+        race and parses a complete entry, or loses it and sees a plain
+        cache miss — never a torn read.  Entries that vanish or resist
+        deletion mid-prune (a racing pruner) are simply skipped.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        survey = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing deleters
+                continue
+            survey.append((stat.st_atime, stat.st_mtime, path.name,
+                           path, stat.st_size))
+            total += stat.st_size
+        removed = 0
+        for _, _, _, path, size in sorted(survey):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deleters
+                continue
+            total -= size
+            removed += 1
+        self._sweep_empty_shards()
+        return removed
+
+    def _sweep_empty_shards(self) -> None:
+        """Drop fan-out directories emptied by pruning (best-effort:
+        ``rmdir`` refuses non-empty directories, so a racing writer's
+        shard survives)."""
+        for shard in self.root.glob("??"):
+            if not shard.is_dir():
+                continue
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's timestamps after a hit (LRU bookkeeping;
+        losing the race to a pruner is just a future miss)."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - racing deleters
+            pass
 
     @staticmethod
     def _discard(path: Path) -> None:

@@ -1,0 +1,128 @@
+"""Tests for ``tools/bench_compare.py`` (perf trajectory diffing)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from bench_compare import (  # noqa: E402
+    PhaseComparison,
+    compare,
+    main,
+    regressions,
+    render,
+)
+
+
+def payload(**rates):
+    """A minimal BENCH_runner.json shape: name -> (cold, warm) rates."""
+    return {"schema": "repro-bench/1",
+            "subsystems": {
+                name: {"cache_cold": {"sessions_per_s": cold},
+                       "cache_warm": {"sessions_per_s": warm}}
+                for name, (cold, warm) in rates.items()}}
+
+
+def test_identical_runs_have_no_regressions():
+    base = payload(wifi=(10.0, 100.0), net=(50.0, 500.0))
+    rows = compare(base, base)
+    assert len(rows) == 4
+    assert all(row.status == "ok" for row in rows)
+    assert not regressions(rows)
+
+
+def test_slowdown_beyond_threshold_is_a_regression():
+    base = payload(wifi=(10.0, 100.0))
+    fresh = payload(wifi=(7.0, 100.0))   # cold lost 30% > 25%
+    rows = compare(base, fresh)
+    by_phase = {row.phase: row for row in rows}
+    assert by_phase["cache_cold"].status == "regression"
+    assert by_phase["cache_warm"].status == "ok"
+    assert len(regressions(rows)) == 1
+
+
+def test_threshold_is_configurable():
+    base = payload(wifi=(10.0, 100.0))
+    fresh = payload(wifi=(8.5, 100.0))   # -15%
+    assert not regressions(compare(base, fresh, threshold=0.25))
+    assert regressions(compare(base, fresh, threshold=0.10))
+    with pytest.raises(ValueError):
+        compare(base, fresh, threshold=0.0)
+    with pytest.raises(ValueError):
+        compare(base, fresh, threshold=1.5)
+
+
+def test_speedup_reported_as_improved_not_regression():
+    rows = compare(payload(wifi=(10.0, 100.0)),
+                   payload(wifi=(20.0, 100.0)))
+    assert {row.status for row in rows} == {"improved", "ok"}
+    assert not regressions(rows)
+
+
+def test_subsystem_missing_from_fresh_run_regresses():
+    rows = compare(payload(wifi=(10.0, 100.0), net=(50.0, 500.0)),
+                   payload(wifi=(10.0, 100.0)))
+    missing = [row for row in rows if row.status == "missing"]
+    assert [row.subsystem for row in missing] == ["net", "net"]
+    assert len(regressions(rows)) == 2
+
+
+def test_extra_fresh_subsystem_ignored():
+    rows = compare(payload(wifi=(10.0, 100.0)),
+                   payload(wifi=(10.0, 100.0), new=(1.0, 1.0)))
+    assert {row.subsystem for row in rows} == {"wifi"}
+
+
+def test_null_baseline_rate_skipped():
+    base = payload(wifi=(None, 100.0))
+    rows = compare(base, base)
+    assert [row.phase for row in rows] == ["cache_warm"]
+
+
+def test_render_mentions_every_row_and_count():
+    rows = compare(payload(wifi=(10.0, 100.0)),
+                   payload(wifi=(7.0, 100.0)))
+    text = render(rows, 0.25)
+    assert "wifi" in text and "[regression]" in text and "[ok]" in text
+    assert "1 regression(s) across 2 measurement(s)" in text
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    base_file = tmp_path / "base.json"
+    base_file.write_text(json.dumps(payload(wifi=(10.0, 100.0))))
+    ok_file = tmp_path / "ok.json"
+    ok_file.write_text(json.dumps(payload(wifi=(11.0, 105.0))))
+    bad_file = tmp_path / "bad.json"
+    bad_file.write_text(json.dumps(payload(wifi=(1.0, 100.0))))
+    assert main(["--baseline", str(base_file),
+                 "--fresh", str(ok_file)]) == 0
+    assert main(["--baseline", str(base_file),
+                 "--fresh", str(bad_file)]) == 1
+    assert main(["--baseline", str(tmp_path / "absent.json"),
+                 "--fresh", str(ok_file)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_subprocess_compares_two_files(tmp_path):
+    base_file = tmp_path / "base.json"
+    base_file.write_text(json.dumps(payload(wifi=(10.0, 100.0))))
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "bench_compare.py"),
+         "--baseline", str(base_file), "--fresh", str(base_file)],
+        capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+    assert "0 regression(s)" in result.stdout
+
+
+def test_committed_baseline_parses_with_expected_schema():
+    """The checked-in BENCH_runner.json stays consumable by the tool."""
+    baseline = json.loads((REPO / "BENCH_runner.json").read_text())
+    assert baseline["schema"] == "repro-bench/1"
+    rows = compare(baseline, baseline)
+    assert rows and all(row.status == "ok" for row in rows)
+    assert isinstance(rows[0], PhaseComparison)

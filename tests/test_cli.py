@@ -120,6 +120,23 @@ def test_runner_footer_reports_cache_reuse(tmp_path):
     assert drop_footer(cold) == drop_footer(warm)
 
 
+def test_cache_max_bytes_prunes_store_after_command(tmp_path):
+    from repro.runner import ResultCache
+    clear_memo()
+    _, output = run_cli(["table3", "--runs", "3",
+                         "--cache-dir", str(tmp_path),
+                         "--cache-max-bytes", "0"])
+    assert "[cache table3: pruned 3 entries; 0 bytes retained]" in output
+    assert ResultCache(tmp_path).size_bytes() == 0
+    # A generous limit keeps every entry and reports nothing pruned.
+    clear_memo()
+    _, output = run_cli(["table3", "--runs", "3",
+                         "--cache-dir", str(tmp_path),
+                         "--cache-max-bytes", str(64 * 1024 * 1024)])
+    assert "pruned 0 entries" in output
+    assert len(list(ResultCache(tmp_path).entries())) == 3
+
+
 def test_no_cache_flag_forces_recompute(tmp_path):
     clear_memo()
     run_cli(["table3", "--runs", "3", "--cache-dir", str(tmp_path)])

@@ -80,6 +80,100 @@ def test_path_policy_matches_absolute_paths():
     assert policy.exempt("/root/repo/tests/test_x.py", "A001")
 
 
+def test_path_policy_normalizes_prefix_slashes():
+    # "tests" and "tests/" are the same entry; backslash paths match.
+    for prefix in ("tests", "tests/"):
+        policy = PathPolicy(((prefix, ("A001",)),))
+        assert policy.exempt("tests/test_x.py", "A001")
+        assert policy.exempt("repo\\tests\\test_x.py", "A001")
+
+
+def test_path_policy_prefix_is_a_component_not_a_substring():
+    # "tests/" must match as a directory component: a sibling directory
+    # that merely *starts* with the same letters stays covered by rules.
+    policy = PathPolicy((("tests/", ("A001",)),))
+    assert not policy.exempt("latests/test_x.py", "A001")
+    assert not policy.exempt("src/latests/x.py", "A001")
+    assert policy.exempt("nested/tests/x.py", "A001")
+
+
+def test_path_policy_nested_prefix_scoping():
+    policy = PathPolicy((("src/repro/runner/", ("A001",)),))
+    assert policy.exempt("src/repro/runner/cache.py", "A001")
+    assert not policy.exempt("src/repro/studies/provider.py", "A001")
+
+
+def test_path_policy_union_across_overlapping_entries():
+    # Overlapping entries union their rule sets: an empty narrow entry
+    # does not mask a broader exemption, it only documents a decision.
+    policy = PathPolicy((("src/repro/runner/", ()),
+                         ("src/", ("A001",))))
+    assert policy.exempt("src/repro/runner/cache.py", "A001")
+    assert not policy.exempt("src/repro/runner/cache.py", "B001")
+
+
+def test_path_policy_file_entry_exact_match():
+    policy = PathPolicy((("tests/conftest.py", ("A001",)),))
+    assert policy.exempt("tests/conftest.py", "A001")
+    assert policy.exempt("/root/repo/tests/conftest.py", "A001")
+    # Other files in the same directory are not covered...
+    assert not policy.exempt("tests/test_x.py", "A001")
+    # ...and neither is a file whose name merely ends the same way.
+    assert not policy.exempt("tests/my_conftest.py", "A001")
+
+
+def test_path_policy_empty_and_describe():
+    assert not PathPolicy().exempt("src/a.py", "A001")
+    described = PathPolicy((("tests/", ("B001", "A001")),
+                            ("tests/conftest.py", ("C001",)))).describe()
+    assert "tests/  exempt: A001, B001" in described
+    assert "tests/conftest.py  exempt: C001" in described
+
+
+def test_baseline_fingerprint_stable_under_reindent_only(tmp_path):
+    # The fingerprint uses the *stripped* line text, so a pure
+    # re-indent (e.g. wrapping the line in an if-block) stays baselined
+    # when the analyzer strips text consistently.
+    baseline_path = tmp_path / "bl.json"
+    write_baseline(str(baseline_path), [make_finding(text="x = 1")])
+    moved = make_finding(line=90, text="x = 1")
+    assert filter_new([moved], load_baseline(str(baseline_path))) == []
+
+
+def test_baseline_counts_duplicate_fingerprints(tmp_path):
+    # Two identical lines baselined -> two occurrences absorbed, a
+    # third is new (the multiset keeps exact counts, not a set).
+    baseline_path = tmp_path / "bl.json"
+    write_baseline(str(baseline_path),
+                   [make_finding(line=3), make_finding(line=9)])
+    three = [make_finding(line=3), make_finding(line=9),
+             make_finding(line=12)]
+    remaining = filter_new(three, load_baseline(str(baseline_path)))
+    assert len(remaining) == 1
+
+
+def test_baseline_distinguishes_rule_and_path(tmp_path):
+    baseline_path = tmp_path / "bl.json"
+    write_baseline(str(baseline_path), [make_finding()])
+    other_rule = make_finding(rule="X002")
+    other_path = make_finding(path="src/b.py")
+    baselined = load_baseline(str(baseline_path))
+    assert filter_new([other_rule], baselined) == [other_rule]
+    assert filter_new([other_path], baselined) == [other_path]
+
+
+def test_baseline_roundtrip_is_deterministic(tmp_path):
+    # write_baseline sorts entries, so the same findings in any order
+    # produce byte-identical baseline files (diff-stable in review).
+    findings = [make_finding(line=9, text="b"),
+                make_finding(line=3, text="a"),
+                make_finding(path="src/b.py", text="c")]
+    path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+    write_baseline(str(path_a), findings)
+    write_baseline(str(path_b), list(reversed(findings)))
+    assert path_a.read_text() == path_b.read_text()
+
+
 # -------------------------------------------------------------- output
 
 def test_render_github_workflow_command():

@@ -198,6 +198,95 @@ def test_cache_concurrent_writers_never_leave_torn_entries(tmp_path):
     assert not list(tmp_path.rglob("*.tmp"))
 
 
+def _fill_cache(cache, n, size=512):
+    """``n`` distinct entries with strictly increasing access times."""
+    specs = [RunSpec.build(ADD_TASK, seed, {"pad": "x" * size})
+             for seed in range(n)]
+    for i, spec in enumerate(specs):
+        cache.put(spec, canonical_json({"seed": spec.seed}),
+                  EMPTY_METRICS_JSON)
+        # Pin timestamps explicitly: filesystem timestamp granularity
+        # (and noatime mounts) would otherwise make the order flaky.
+        os.utime(cache.path_for(spec.key), (1000 + i, 1000 + i))
+    return specs
+
+
+def test_cache_prune_evicts_least_recently_used_first(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = _fill_cache(cache, 6)
+    entry_size = cache.path_for(specs[0].key).stat().st_size
+    removed = cache.prune(3 * entry_size)
+    assert removed == 3
+    # The three oldest-accessed entries are gone, the rest survive.
+    assert all(cache.get(s) is None for s in specs[:3])
+    assert all(cache.get(s) is not None for s in specs[3:])
+    assert cache.size_bytes() <= 3 * entry_size
+
+
+def test_cache_prune_respects_hit_recency(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = _fill_cache(cache, 4)
+    # A hit refreshes the entry's timestamps, moving it to the LRU tail.
+    assert cache.get(specs[0]) is not None
+    entry_size = cache.path_for(specs[0].key).stat().st_size
+    cache.prune(entry_size)
+    assert cache.get(specs[0]) is not None
+    assert all(cache.get(s) is None for s in specs[1:])
+
+
+def test_cache_prune_to_zero_empties_store_and_shards(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = _fill_cache(cache, 5)
+    assert cache.prune(0) == 5
+    assert cache.size_bytes() == 0
+    assert all(cache.get(s) is None for s in specs)
+    # Emptied two-character fan-out shards are swept away.
+    assert not [p for p in tmp_path.iterdir() if p.is_dir()]
+
+
+def test_cache_prune_noop_under_limit(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill_cache(cache, 3)
+    assert cache.prune(10 * 1024 * 1024) == 0
+    assert len(list(cache.entries())) == 3
+    with pytest.raises(ValueError):
+        cache.prune(-1)
+
+
+def test_cache_prune_under_concurrent_reads(tmp_path):
+    """Readers racing a pruner see a hit or a clean miss, never a torn
+    entry or an exception — eviction is a single atomic unlink."""
+    cache = ResultCache(tmp_path)
+    specs = [RunSpec.build(ADD_TASK, seed, {"blob": "x" * 2048})
+             for seed in range(8)]
+    payloads = {s.key: canonical_json({"seed": s.seed}) for s in specs}
+    for spec in specs:
+        cache.put(spec, payloads[spec.key], EMPTY_METRICS_JSON)
+    failures = []
+
+    def read_loop():
+        for _ in range(40):
+            for spec in specs:
+                got = cache.get(spec)
+                if got is not None and \
+                        got != (payloads[spec.key], EMPTY_METRICS_JSON):
+                    failures.append(got)
+
+    def prune_loop():
+        for _ in range(20):
+            cache.prune(3 * 1024)
+            for spec in specs:   # refill so readers keep racing
+                cache.put(spec, payloads[spec.key], EMPTY_METRICS_JSON)
+
+    threads = [threading.Thread(target=read_loop) for _ in range(3)]
+    threads.append(threading.Thread(target=prune_loop))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures
+
+
 # ----------------------------------------------------------------- worker
 
 def test_resolve_task_errors():

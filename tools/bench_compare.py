@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark run against the committed baseline.
+
+``make bench`` freezes the perf trajectory into ``BENCH_runner.json``;
+this tool answers "did we slow down?"::
+
+    PYTHONPATH=src python tools/bench_compare.py            # run fresh, compare
+    PYTHONPATH=src python tools/bench_compare.py --scale 0.5
+    python tools/bench_compare.py --fresh other.json        # compare two files
+
+For every subsystem in the baseline it compares ``sessions_per_s`` for
+the cache-cold phase (simulation throughput) and the cache-warm phase
+(cache-read throughput).  A phase that lost more than ``--threshold``
+(default 25%) of its baseline rate is a regression; the exit status is 1
+when any phase regressed, so the target is scriptable.
+
+The baseline carries absolute rates from whatever machine ran ``make
+bench`` last, so cross-machine comparisons are *informational*: CI runs
+this step with ``continue-on-error`` and the numbers are a tripwire for
+order-of-magnitude cliffs, not a gate on noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+DEFAULT_BASELINE = "BENCH_runner.json"
+DEFAULT_THRESHOLD = 0.25
+PHASES = ("cache_cold", "cache_warm")
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One (subsystem, phase) pair's baseline-vs-fresh verdict."""
+
+    subsystem: str
+    phase: str
+    baseline_rate: Optional[float]
+    fresh_rate: Optional[float]
+    status: str   # "ok" | "regression" | "improved" | "missing"
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.baseline_rate or self.fresh_rate is None:
+            return None
+        return self.fresh_rate / self.baseline_rate
+
+
+def _rate(payload: Dict[str, Any], subsystem: str,
+          phase: str) -> Optional[float]:
+    entry = payload.get("subsystems", {}).get(subsystem, {})
+    value = entry.get(phase, {}).get("sessions_per_s")
+    return float(value) if value is not None else None
+
+
+def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
+            threshold: float = DEFAULT_THRESHOLD
+            ) -> List[PhaseComparison]:
+    """Every baseline (subsystem, phase) judged against ``fresh``.
+
+    A subsystem the fresh run never measured is reported as ``missing``
+    (it counts as a regression: silently dropping a workload from the
+    matrix must not read as "no slowdown").  Subsystems only present in
+    the fresh run are ignored — they have no trajectory to regress.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    rows: List[PhaseComparison] = []
+    for subsystem in sorted(baseline.get("subsystems", {})):
+        for phase in PHASES:
+            base = _rate(baseline, subsystem, phase)
+            new = _rate(fresh, subsystem, phase)
+            if base is None:
+                continue   # baseline never measured this phase
+            if new is None:
+                status = "missing"
+            elif new < base * (1.0 - threshold):
+                status = "regression"
+            elif new > base * (1.0 + threshold):
+                status = "improved"
+            else:
+                status = "ok"
+            rows.append(PhaseComparison(subsystem, phase, base, new,
+                                        status))
+    return rows
+
+
+def regressions(rows: Sequence[PhaseComparison]
+                ) -> List[PhaseComparison]:
+    return [r for r in rows if r.status in ("regression", "missing")]
+
+
+def render(rows: Sequence[PhaseComparison], threshold: float) -> str:
+    lines = [f"bench-compare (threshold: -{threshold * 100:.0f}%)"]
+    for row in rows:
+        fresh = ("missing" if row.fresh_rate is None
+                 else f"{row.fresh_rate:>10.3f}")
+        ratio = ("" if row.ratio is None
+                 else f"  ({row.ratio:.0%} of base)")
+        lines.append(
+            f"  {row.subsystem:16s} {row.phase:10s} "
+            f"base {row.baseline_rate:>10.3f}/s  fresh {fresh}/s"
+            f"{ratio}  [{row.status}]")
+    bad = regressions(rows)
+    lines.append(f"{len(bad)} regression(s) across {len(rows)} "
+                 f"measurement(s)")
+    return "\n".join(lines)
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_compare",
+        description="Diff a fresh benchmark run against the committed "
+                    "BENCH_runner.json trajectory baseline.")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON (default: %(default)s)")
+    parser.add_argument("--fresh", default=None, metavar="FILE",
+                        help="pre-recorded fresh results; when omitted "
+                             "the benchmark matrix runs in-process "
+                             "(needs repro on PYTHONPATH)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="regression fraction (default: %(default)s)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="seed-count scale for the in-process run "
+                             "(default: 1.0)")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"bench_compare: no baseline at {baseline_path}; "
+              f"run 'make bench' first", file=sys.stderr)
+        return 2
+    baseline = _load(baseline_path)
+
+    if args.fresh is not None:
+        fresh = _load(Path(args.fresh))
+    else:
+        from repro.bench import run_bench
+        fresh = run_bench(scale=args.scale)
+
+    rows = compare(baseline, fresh, threshold=args.threshold)
+    print(render(rows, args.threshold))
+    return 1 if regressions(rows) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,17 @@ clock.  A :class:`PathPolicy` names those exemptions *once*, in code, with
 a rationale — instead of scattering hundreds of inline suppressions or
 silently not linting whole trees (the pre-PR-2 state).
 
-A policy entry ``("tests/", {"DET001", ...})`` exempts the rules for any
-file whose normalized path starts with, or contains, the ``tests/``
-directory component.
+Two entry shapes:
+
+* a directory entry ``("tests/", {"DET001", ...})`` exempts the rules
+  for any file whose normalized path starts with, or contains, the
+  ``tests/`` directory component;
+* a file entry ``("tests/conftest.py", {"DET001"})`` — any entry whose
+  last component names a ``.py`` file — exempts the rules for exactly
+  that file (matched against the path's tail, so
+  ``repo/tests/conftest.py`` matches too).  File entries let a policy
+  carve out one deliberate exception without widening it to a whole
+  tree.
 """
 
 from __future__ import annotations
@@ -18,25 +26,35 @@ from typing import FrozenSet, Iterable, Sequence, Tuple
 
 
 class PathPolicy:
-    """Ordered (directory-prefix, exempt-rules) pairs."""
+    """Ordered (directory-prefix or file-path, exempt-rules) pairs."""
 
     def __init__(self, entries: Sequence[Tuple[str, Iterable[str]]] = ()):
+        normalized = []
+        for prefix, rules in entries:
+            posix = prefix.replace("\\", "/")
+            if not posix.endswith(".py"):
+                posix = posix.rstrip("/") + "/"
+            normalized.append((posix, frozenset(rules)))
         self._entries: Tuple[Tuple[str, FrozenSet[str]], ...] = tuple(
-            (prefix.rstrip("/") + "/", frozenset(rules))
-            for prefix, rules in entries)
+            normalized)
+
+    @staticmethod
+    def _covers(entry: str, posix: str) -> bool:
+        if entry.endswith(".py"):
+            return posix == entry or posix.endswith(f"/{entry}")
+        return posix.startswith(entry) or f"/{entry}" in posix
 
     def exempt(self, path: str, rule: str) -> bool:
         """True when ``rule`` is exempt for ``path``."""
         posix = path.replace("\\", "/")
-        for prefix, rules in self._entries:
-            if posix.startswith(prefix) or f"/{prefix}" in posix:
-                if rule in rules:
-                    return True
+        for entry, rules in self._entries:
+            if self._covers(entry, posix) and rule in rules:
+                return True
         return False
 
     def describe(self) -> str:
         """Human-readable listing (for ``--list-rules`` style output)."""
         lines = []
-        for prefix, rules in self._entries:
-            lines.append(f"{prefix}  exempt: {', '.join(sorted(rules))}")
+        for entry, rules in self._entries:
+            lines.append(f"{entry}  exempt: {', '.join(sorted(rules))}")
         return "\n".join(lines)

@@ -24,6 +24,13 @@ Task roots — the ``"module:function"`` entry points handed to
 ``repro.runner.map_task`` / ``map_configs`` / ``RunSpec.build`` — are
 collected here too, resolving string constants through module-level
 assignments (``OFFICE_TASK = "repro...:office_run_metrics"``).
+
+For pass 4 every module additionally gets a synthetic ``<module>`` node
+whose "body" is the module scope minus any ``if __name__ == "__main__"``
+guard — exactly the code a spawned worker replays when it imports the
+module.  Its effect summary is what IMP401 checks; its call edges make
+import-time work transitive (``CONST = helper()`` at module scope
+carries ``helper``'s effects).
 """
 
 from __future__ import annotations
@@ -71,6 +78,10 @@ class EffectSite:
     lineno: int
     col: int
     detail: str
+    #: the module-level name (or other stable token) the effect touches,
+    #: when one exists — pass 4 propagates some kinds per-symbol so one
+    #: task root can report every distinct offender, not just the first
+    symbol: Optional[str] = None
 
 
 @dataclass
@@ -136,6 +147,10 @@ class CallGraph:
         self._aliased: Dict[str, Set[str]] = {}
         #: per-module: module-level string constants (task indirection)
         self._str_constants: Dict[str, Dict[str, str]] = {}
+        #: path -> synthetic ``<module>`` node id (import-time execution)
+        self.module_nodes: Dict[str, str] = {}
+        #: per-module: names assigned at module scope (pass 4 reads this)
+        self._module_assigned: Dict[str, Set[str]] = {}
 
     # -- queries -------------------------------------------------------
 
@@ -233,6 +248,7 @@ def _collect_module(graph: CallGraph, path: str, tree: ast.Module,
                     str_constants[target.id] = value.value
     graph._aliased[path] = aliased
     graph._str_constants[path] = str_constants
+    graph._module_assigned[path] = module_names
 
     imports = _ImportInfo(tree)
 
@@ -270,6 +286,38 @@ def _collect_module(graph: CallGraph, path: str, tree: ast.Module,
                         visit([child], prefix, enclosing_class)
 
     visit(tree.body, "", None)
+
+    # the synthetic <module> node: what importing this module *executes*
+    # (a __main__ guard never runs on a worker import, and def/class
+    # statements only *bind* — their bodies are the functions' own
+    # scope, already covered by their own nodes)
+    import_body = [stmt for stmt in tree.body
+                   if not _is_main_guard(stmt)
+                   and not isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef,
+                                             ast.ClassDef))]
+    module_ast = ast.Module(body=import_body, type_ignores=[])
+    module_node = FunctionNode(
+        id=f"{path}::<module>", name="<module>", qualname="<module>",
+        path=path, lineno=1, func_ast=module_ast)
+    _collect_effects(module_node, module_ast, module_names, imports,
+                     sanctioned)
+    graph.nodes[module_node.id] = module_node
+    graph.module_nodes[path] = module_node.id
+
+
+def _is_main_guard(stmt: ast.stmt) -> bool:
+    """``if __name__ == "__main__":`` (either comparison order)."""
+    if not isinstance(stmt, ast.If) \
+            or not isinstance(stmt.test, ast.Compare):
+        return False
+    test = stmt.test
+    if len(test.ops) != 1 or not isinstance(test.ops[0], ast.Eq):
+        return False
+    sides = [test.left] + list(test.comparators)
+    names = {n.id for n in sides if isinstance(n, ast.Name)}
+    consts = {c.value for c in sides if isinstance(c, ast.Constant)}
+    return "__name__" in names and "__main__" in consts
 
 
 def _sanctioned_clock_lines(source: str) -> Set[int]:
@@ -379,14 +427,16 @@ def _collect_effects(fn: FunctionNode, func: ast.AST,
                         and base.id in global_names:
                     fn.effects.append(EffectSite(
                         GLOBAL_WRITE, node.lineno, node.col_offset,
-                        f"assigns module global '{base.id}'"))
+                        f"assigns module global '{base.id}'",
+                        symbol=base.id))
                 elif isinstance(target, (ast.Attribute, ast.Subscript)) \
                         and isinstance(base, ast.Name) \
                         and base.id in module_names \
                         and base.id not in _local_bindings(func):
                     fn.effects.append(EffectSite(
                         GLOBAL_WRITE, node.lineno, node.col_offset,
-                        f"mutates module-level object '{base.id}'"))
+                        f"mutates module-level object '{base.id}'",
+                        symbol=base.id))
         elif isinstance(node, ast.Call):
             _call_effects(fn, node, module_names, imports, sanctioned,
                           _local_bindings(func))
@@ -478,7 +528,7 @@ def _call_effects(fn: FunctionNode, call: ast.Call,
             fn.effects.append(EffectSite(
                 GLOBAL_WRITE, call.lineno, call.col_offset,
                 f"mutates module-level container '{base.id}' via "
-                f".{call.func.attr}()"))
+                f".{call.func.attr}()", symbol=base.id))
 
 
 def _is_set_expr(node: Optional[ast.expr]) -> bool:

@@ -125,11 +125,16 @@ class PropagatedEffect:
                 + (f" [via {path}]" if len(hops) > 1 else ""))
 
 
-Summary = Dict[str, PropagatedEffect]          # effect kind -> best chain
+#: summary keys are the plain effect kind, plus — for kinds listed in
+#: ``granular_kinds`` with a known symbol — ``"<kind>:<symbol>"`` entries
+#: so a consumer can see *every* distinct offender, not just the first
+Summary = Dict[str, PropagatedEffect]          # key -> best chain
 Summaries = Dict[str, Summary]                 # node id -> summary
 
 
-def propagate_effects(graph: CallGraph) -> Summaries:
+def propagate_effects(graph: CallGraph,
+                      granular_kinds: frozenset = frozenset()
+                      ) -> Summaries:
     """Close local effects over call edges to a fixpoint.
 
     Each node's summary maps effect kind to the shortest known chain;
@@ -140,9 +145,13 @@ def propagate_effects(graph: CallGraph) -> Summaries:
     for node_id, node in graph.nodes.items():
         summary: Summary = {}
         for site in node.effects:
-            if site.kind not in summary:
-                summary[site.kind] = PropagatedEffect(
-                    site, node_id, (node_id,))
+            keys = [site.kind]
+            if site.kind in granular_kinds and site.symbol:
+                keys.append(f"{site.kind}:{site.symbol}")
+            for key in keys:
+                if key not in summary:
+                    summary[key] = PropagatedEffect(
+                        site, node_id, (node_id,))
         summaries[node_id] = summary
 
     # reverse adjacency: callee -> callers

@@ -1,10 +1,12 @@
-"""Three-pass driver: parse everything once, index, graph, then analyze.
+"""Multi-pass driver: parse everything once, index, graph, then analyze.
 
 One parse feeds all passes: pass 1 builds the :class:`ProjectIndex`,
 pass 3a builds the :class:`CallGraph` (with effect summaries propagated
-to fixpoint) on the *same* trees, and the per-file analyzers of passes
-2 and 3b both run off that shared state — ``make lint`` pays for the
-filesystem walk and parsing exactly once no matter how many passes run.
+to fixpoint) on the *same* trees, pass 4 folds its
+concurrency/serialization effect sites into the same fixpoint, and the
+per-file analyzers of passes 2, 3b and 4 all run off that shared state
+— ``make lint`` pays for the filesystem walk and parsing exactly once
+no matter how many passes run.
 
 ``analyze_paths`` always folds ``src/`` into the pass-1 index (when it
 exists) even if only a subset of files was asked for — cross-module
@@ -28,6 +30,8 @@ from lintcore.walk import iter_python_files
 from reproflow.callgraph import CallGraph, build_callgraph
 from reproflow.dataflow import Pass3Analyzer, Summaries, propagate_effects
 from reproflow.index import ProjectIndex, build_index
+from reproflow.parsafe import (GRANULAR_KINDS, ParsafeInfo, Pass4Analyzer,
+                               collect_parsafe)
 from reproflow.policy import DEFAULT_POLICY
 from reproflow.rules import ALL_RULES, ScopeAnalyzer
 
@@ -48,13 +52,17 @@ def _analyze_tree(path: str, tree: ast.Module, source: str,
                   index: ProjectIndex,
                   rules: Optional[Sequence[str]],
                   graph: Optional[CallGraph] = None,
-                  summaries: Optional[Summaries] = None) -> List[Finding]:
+                  summaries: Optional[Summaries] = None,
+                  parsafe: Optional[ParsafeInfo] = None) -> List[Finding]:
     lines = source.splitlines()
     suppressions = parse_suppressions(lines, tool="reproflow")
     selected = set(rules) if rules is not None else set(ALL_RULES)
     raw = list(ScopeAnalyzer(path, index).analyze(tree))
     if graph is not None and summaries is not None:
         raw += Pass3Analyzer(path, index, graph, summaries).analyze(tree)
+        if parsafe is not None:
+            raw += Pass4Analyzer(path, index, graph, summaries,
+                                 parsafe).analyze(tree)
     findings: List[Finding] = []
     for lineno, col, rule_id, message in raw:
         if rule_id not in selected:
@@ -89,9 +97,10 @@ def analyze_source(source: str, path: str,
             sources[extra_path] = extra_source
     index = build_index(trees)
     graph = build_callgraph(trees, sources, index)
-    summaries = propagate_effects(graph)
+    parsafe = collect_parsafe(graph, trees)
+    summaries = propagate_effects(graph, GRANULAR_KINDS)
     findings = _analyze_tree(path, tree, source, index, rules,
-                             graph, summaries)
+                             graph, summaries, parsafe)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -127,14 +136,15 @@ def analyze_paths(paths: Iterable[str],
 
     index = build_index(trees)
     graph = build_callgraph(trees, sources, index)
-    summaries = propagate_effects(graph)
+    parsafe = collect_parsafe(graph, trees)
+    summaries = propagate_effects(graph, GRANULAR_KINDS)
     findings = list(parse_findings)
     for path in targets:
         if path not in trees:
             continue
         findings.extend(
             _analyze_tree(path, trees[path], sources[path], index, rules,
-                          graph, summaries))
+                          graph, summaries, parsafe))
     if policy is not None:
         findings = [f for f in findings
                     if not policy.exempt(f.path, f.rule)]

@@ -32,6 +32,17 @@ Rationale per entry:
     apply to it in full.  Recorded explicitly because the runner crosses
     process boundaries — exactly where a silently mismatched keyword or
     unit would be hardest to debug.
+
+The pass-4 families (SER — payload picklability under spawn, IMP —
+import-time hazards in worker-imported modules, KEY — cache-key
+soundness) are exempt *nowhere*.  They fire only on code reachable from
+a task actually submitted to the runner, so they cannot produce the
+tests-have-different-idioms noise the exemptions above exist for; and
+the findings they did produce in ``src/`` (the provider study's
+call-time knob fallbacks, KEY501) were fixed at the source rather than
+carved out here.  Entries may also name a single ``.py`` file (see
+:class:`lintcore.policy.PathPolicy`) for one-file exceptions; this
+policy currently needs none.
 """
 
 from __future__ import annotations

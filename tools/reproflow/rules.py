@@ -630,6 +630,29 @@ ALL_RULES: Dict[str, Tuple[str, str]] = {
     "ORD202": ("unordered-float-accumulation",
                "Float accumulation (sum/fsum/+=) over an unordered "
                "iterable."),
+    # pass 4 (concurrency & serialization safety — reproflow.parsafe)
+    "SER301": ("unpicklable-task-callable",
+               "Lambda/nested function/bound method (or an entry "
+               "string naming one) submitted to the runner — cannot "
+               "resolve or pickle under spawn."),
+    "SER302": ("stateful-task-default",
+               "A runner task parameter default constructing a "
+               "handle/lock/queue/RNG — per-worker shared state."),
+    "SER303": ("task-captures-handle",
+               "A runner task transitively uses a module-level open "
+               "handle or lock; each spawn worker gets its own copy."),
+    "IMP401": ("import-time-effect",
+               "Module-scope clock read/RNG draw/env mutation in a "
+               "worker-imported module, replayed per worker import."),
+    "IMP402": ("cross-process-global-read",
+               "A function reads a module global that a runner task "
+               "mutates inside worker processes."),
+    "KEY501": ("cache-key-escape",
+               "A runner task depends on env vars, call-time file "
+               "reads, or module globals outside its RunSpec key."),
+    "KEY502": ("dynamic-dispatch-escape",
+               "Task-reachable dynamic import/getattr dispatch whose "
+               "callee escapes the RunSpec code fingerprint."),
 }
 
 

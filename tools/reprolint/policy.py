@@ -29,6 +29,10 @@ with rationale:
 
 Everything else (mutable defaults, overbroad excepts, slot-less Event
 classes...) applies everywhere, including to the linters themselves.
+
+Entries may also name a single ``.py`` file (see
+:class:`lintcore.policy.PathPolicy`) for one-file exceptions; this
+policy currently needs none.
 """
 
 from __future__ import annotations

@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint lint-baseline typecheck sanitize-test bench \
-	bench-compare bench-pytest bench-smoke bench-full obs-smoke \
-	examples docs clean
+	bench-compare bench-pytest bench-smoke batch-smoke bench-full \
+	obs-smoke examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -84,6 +84,30 @@ bench-smoke:
 	@rm -rf .bench-smoke-cache .bench-smoke-serial .bench-smoke-jobs2 \
 		.bench-smoke-warm
 	@echo "bench-smoke: serial, --jobs 2 and warm-cache digests identical"
+
+# Batch-backend determinism smoke: a 120-session population (two
+# cache-keyed blocks) rendered serially and with --jobs 2 must print
+# identical batch digests, and a warm-cache rerun must execute zero
+# blocks.  REPRO_SANITIZE=1 additionally re-runs a sampled subset of
+# each block through the event engine and checks statistical
+# equivalence (repro.batch.sanity) before any digest is accepted.
+batch-smoke:
+	@rm -rf .batch-smoke-cache
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig2a --runs 120 \
+		--backend batch --cache-dir .batch-smoke-cache \
+		| grep -o 'digest=[0-9a-f]*' > .batch-smoke-serial
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig2a --runs 120 \
+		--backend batch --no-cache --jobs 2 \
+		| grep -o 'digest=[0-9a-f]*' > .batch-smoke-jobs2
+	cmp .batch-smoke-serial .batch-smoke-jobs2
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro fig2a --runs 120 \
+		--backend batch --cache-dir .batch-smoke-cache > .batch-smoke-warm
+	grep -q 'executed=0' .batch-smoke-warm
+	grep -o 'digest=[0-9a-f]*' .batch-smoke-warm \
+		| cmp - .batch-smoke-serial
+	@rm -rf .batch-smoke-cache .batch-smoke-serial .batch-smoke-jobs2 \
+		.batch-smoke-warm
+	@echo "batch-smoke: serial, --jobs 2 and warm-cache digests identical"
 
 # Metrics-export determinism smoke: the same artifact run serially, with
 # --jobs 2 and from a warm cache (sanitizer on) must export byte-identical

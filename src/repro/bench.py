@@ -40,19 +40,31 @@ DEFAULT_OUTPUT = "BENCH_runner.json"
 
 @dataclass(frozen=True)
 class BenchEntry:
-    """One subsystem's fixed workload: a task and its seed range."""
+    """One subsystem's fixed workload: a task and its seed range.
+
+    ``sessions_per_seed`` is the number of simulated sessions one spec
+    covers — 1 for event tasks, the block ``count`` for batch tasks,
+    where a single spec renders a whole population block.  Throughput is
+    reported in sessions (not specs) per second so event and batch rows
+    are directly comparable.
+    """
 
     name: str
     task: str
     n_seeds: int
     seed0: int = 0
     task_config: Optional[Mapping[str, Any]] = None
+    sessions_per_seed: int = 1
 
 
 #: the fixed matrix — small on purpose: the numbers are a trajectory
 #: baseline, not a load test.  One entry per subsystem the roadmap's
 #: perf work targets (wifi channel+session sim, paired TCP sessions,
-#: switch micro-benchmark, middlebox retrieval path).
+#: switch micro-benchmark, middlebox retrieval path, and the two
+#: batch-backend phases: render-only and the full render+reduce
+#: pipeline).  The batch rows sweep a 1000-session population in one
+#: block so their sessions/s divides directly against ``wifi_session``
+#: for the batch-vs-event speedup.
 DEFAULT_MATRIX: Tuple[BenchEntry, ...] = (
     BenchEntry("wifi_session",
                "repro.experiments.section6:office_run_metrics", 4),
@@ -62,17 +74,39 @@ DEFAULT_MATRIX: Tuple[BenchEntry, ...] = (
                "repro.experiments.section6:switch_delay_metrics", 8),
     BenchEntry("net_middlebox",
                "repro.experiments.section6:mbox_retrieval_metrics", 8),
+    BenchEntry("batch_render",
+               "repro.batch.driver:render_block_metrics", 1,
+               task_config={"count": 500, "root_seed": 0},
+               sessions_per_seed=500),
+    BenchEntry("batch_strategies",
+               "repro.batch.driver:population_block_metrics", 1,
+               task_config={"count": 1000, "root_seed": 0},
+               sessions_per_seed=1000),
 )
 
 
 def _scaled(matrix: Sequence[BenchEntry], scale: float
             ) -> List[BenchEntry]:
+    """Scale every entry's workload.
+
+    Event entries scale their seed count; batch entries (one spec per
+    block) scale the block ``count`` instead, keeping one spec.
+    """
     if scale == 1.0:
         return list(matrix)
-    return [BenchEntry(e.name, e.task,
-                       max(1, int(round(e.n_seeds * scale))),
-                       e.seed0, e.task_config)
-            for e in matrix]
+    scaled: List[BenchEntry] = []
+    for e in matrix:
+        config = dict(e.task_config) if e.task_config else None
+        per_seed = e.sessions_per_seed
+        if config is not None and "count" in config:
+            config["count"] = max(1, int(round(config["count"] * scale)))
+            per_seed = config["count"]
+            n_seeds = e.n_seeds
+        else:
+            n_seeds = max(1, int(round(e.n_seeds * scale)))
+        scaled.append(BenchEntry(e.name, e.task, n_seeds, e.seed0,
+                                 config, per_seed))
+    return scaled
 
 
 def _specs(entry: BenchEntry) -> List[RunSpec]:
@@ -94,7 +128,7 @@ def _phase(entry: BenchEntry, tracker: SpanTracker, cache_dir: Path,
     with tracker.span(f"bench.{entry.name}", phase=phase) as span:
         batch = run_batch(specs, config=config)
     duration = span.end()
-    sessions = len(specs)
+    sessions = len(specs) * entry.sessions_per_seed
     return {
         "sessions": sessions,
         "wall_s": round(duration, 6),

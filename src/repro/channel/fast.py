@@ -57,7 +57,7 @@ def _ar1_complex(n: int, rho: float,
         # add the decaying contribution of the initial state
         k = np.arange(1, n)
         out[1:] = driven + state * rho ** k
-    except ImportError:      # pragma: no cover - scipy present in CI
+    except ImportError:      # scipy-free fallback (exercised in tests)
         for i in range(1, n):
             state = rho * state + scale * innovations[i]
             out[i] = state

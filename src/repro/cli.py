@@ -28,6 +28,11 @@ from repro import experiments
 from repro.obs import merge_metrics_json, to_canonical_json
 from repro.runner import BatchResult, ResultCache, runner_context
 
+#: commands whose dataset can be produced by the vectorized batch
+#: backend (--backend batch); all share the Section 4 wild population
+_BATCH_COMMANDS = frozenset(
+    {"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig4", "fig5", "fig6"})
+
 #: command -> (runner(runs, seed) -> result, default runs, description)
 _COMMANDS: Dict[str, Tuple[Callable, Optional[int], str]] = {
     "table1": (lambda runs, seed: experiments.run_table1(
@@ -41,27 +46,31 @@ _COMMANDS: Dict[str, Tuple[Callable, Optional[int], str]] = {
         100, "recovery-delay breakdown (AP vs middlebox)"),
     "fig1": (lambda runs, seed: experiments.run_figure1(seed=seed),
              None, "BSSID availability survey"),
-    "fig2a": (lambda runs, seed: experiments.run_figure2a(
-        n_runs=runs or 60, seed=seed), 60,
+    "fig2a": (lambda runs, seed, backend="event": experiments.run_figure2a(
+        n_runs=runs or 60, seed=seed, backend=backend), 60,
         "cross-link vs stronger/better selection"),
-    "fig2b": (lambda runs, seed: experiments.run_figure2b(
-        n_runs=runs or 60, seed=seed), 60, "cross-link vs Divert"),
-    "fig2c": (lambda runs, seed: experiments.run_figure2c(
-        n_runs=runs or 60, seed=seed), 60,
+    "fig2b": (lambda runs, seed, backend="event": experiments.run_figure2b(
+        n_runs=runs or 60, seed=seed, backend=backend), 60,
+        "cross-link vs Divert"),
+    "fig2c": (lambda runs, seed, backend="event": experiments.run_figure2c(
+        n_runs=runs or 60, seed=seed, backend=backend), 60,
         "cross-link vs temporal replication"),
-    "fig2d": (lambda runs, seed: experiments.run_figure2d(
-        n_runs=runs or 30, seed=seed), 30, "on top of MIMO"),
-    "fig2e": (lambda runs, seed: experiments.run_figure2e(
-        n_runs=runs or 16, seed=seed), 16, "5 Mbps streams"),
+    "fig2d": (lambda runs, seed, backend="event": experiments.run_figure2d(
+        n_runs=runs or 30, seed=seed, backend=backend), 30,
+        "on top of MIMO"),
+    "fig2e": (lambda runs, seed, backend="event": experiments.run_figure2e(
+        n_runs=runs or 16, seed=seed, backend=backend), 16,
+        "5 Mbps streams"),
     "fig3": (lambda runs, seed: experiments.run_figure3(seed=seed),
              None, "two-weak-links example"),
-    "fig4": (lambda runs, seed: experiments.run_figure4(
-        n_runs=runs or 60, seed=seed), 60,
+    "fig4": (lambda runs, seed, backend="event": experiments.run_figure4(
+        n_runs=runs or 60, seed=seed, backend=backend), 60,
         "loss auto- vs cross-correlation"),
-    "fig5": (lambda runs, seed: experiments.run_figure5(
-        n_runs=runs or 60, seed=seed), 60, "burst-length distributions"),
-    "fig6": (lambda runs, seed: experiments.run_figure6(
-        n_runs_per_scenario=runs or 15, seed=seed), 15,
+    "fig5": (lambda runs, seed, backend="event": experiments.run_figure5(
+        n_runs=runs or 60, seed=seed, backend=backend), 60,
+        "burst-length distributions"),
+    "fig6": (lambda runs, seed, backend="event": experiments.run_figure6(
+        n_runs_per_scenario=runs or 15, seed=seed, backend=backend), 15,
         "PCR by impairment"),
     "fig8": (lambda runs, seed: experiments.run_figure8(
         n_runs=runs or 30, seed0=seed), 30,
@@ -118,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "canonical JSON ('-' for stdout); "
                              "byte-identical across --jobs and cache "
                              "modes")
+    parser.add_argument("--backend", choices=("event", "batch"),
+                        default="event",
+                        help="simulation backend for the Section 4 wild "
+                             "population (fig2a-2e, fig4, fig5, fig6): "
+                             "'event' runs the per-call reference "
+                             "engine, 'batch' renders vectorized "
+                             "whole-population blocks")
     return parser
 
 
@@ -169,9 +185,14 @@ def run_command(name: str, runs: Optional[int], seed: int,
                 cache_dir: Optional[str] = None,
                 no_cache: bool = False,
                 metrics_out: Optional[str] = None,
-                cache_max_bytes: Optional[int] = None) -> None:
+                cache_max_bytes: Optional[int] = None,
+                backend: str = "event") -> None:
     """Execute one experiment and print its rendering."""
     runner, _, description = _COMMANDS[name]
+    if backend != "event" and name not in _BATCH_COMMANDS:
+        raise SystemExit(
+            f"--backend {backend} is only available for "
+            f"{', '.join(sorted(_BATCH_COMMANDS))}")
     batches: List[BatchResult] = []
     # Elapsed wall-clock reporting is the one sanctioned clock read: it
     # never feeds back into simulated behaviour, only into the "[... 3.2s]"
@@ -179,7 +200,8 @@ def run_command(name: str, runs: Optional[int], seed: int,
     start = time.perf_counter()   # reprolint: disable=DET002
     with runner_context(jobs=jobs, cache_dir=cache_dir,
                         no_cache=no_cache, on_batch=batches.append):
-        result = runner(runs, seed)
+        result = runner(runs, seed, backend=backend) \
+            if name in _BATCH_COMMANDS else runner(runs, seed)
     elapsed = time.perf_counter() - start   # reprolint: disable=DET002
     print(result.render(), file=out)
     print(f"[{name}: {description}; {elapsed:.1f}s]", file=out)
@@ -221,7 +243,8 @@ def main(argv=None, out=sys.stdout) -> int:
     run_command(args.command, args.runs, args.seed, out=out,
                 jobs=args.jobs, cache_dir=args.cache_dir,
                 no_cache=args.no_cache, metrics_out=args.metrics_out,
-                cache_max_bytes=args.cache_max_bytes)
+                cache_max_bytes=args.cache_max_bytes,
+                backend=args.backend)
     return 0
 
 

@@ -217,8 +217,26 @@ def _wild_metrics(n_runs: int, seed: int,
                   highrate: bool = False,
                   duration_s: Optional[float] = None,
                   scenario: Optional[str] = None,
-                  max_lag: int = 20) -> List[Dict[str, Any]]:
-    """Map :func:`wild_run_metrics` over run indices via the runner."""
+                  max_lag: int = 20,
+                  backend: str = "event") -> List[Dict[str, Any]]:
+    """Produce the per-run payload list for ``n_runs`` wild calls.
+
+    ``backend="event"`` maps :func:`wild_run_metrics` over run indices
+    via the runner (the reference path); ``backend="batch"`` renders the
+    same population through :mod:`repro.batch` in vectorized blocks.
+    Both backends emit payloads with identical shape and session order,
+    and the batch backend re-validates a sampled subset against the
+    event engine whenever ``REPRO_SANITIZE=1``.
+    """
+    if backend == "batch":
+        from repro.batch.driver import batch_wild_metrics
+        return batch_wild_metrics(
+            n_runs, seed, deltas=deltas, mimo_branches=mimo_branches,
+            highrate=highrate, duration_s=duration_s, scenario=scenario,
+            max_lag=max_lag)
+    if backend != "event":
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'event' or 'batch'")
     config = {
         "root_seed": seed,
         "deltas": [float(d) for d in deltas],
@@ -264,9 +282,10 @@ def _series(rows: Sequence[Dict[str, Any]],
 
 # ------------------------------------------------------------- Figure 2a/b
 
-def run_figure2a(n_runs: int = 60, seed: int = 0) -> CdfFigure:
+def run_figure2a(n_runs: int = 60, seed: int = 0,
+                 backend: str = "event") -> CdfFigure:
     """Cross-link replication vs stronger/better link selection."""
-    rows = _wild_metrics(n_runs, seed)
+    rows = _wild_metrics(n_runs, seed, backend=backend)
     series = _series(rows, [("cross-link", "cross-link"),
                             ("stronger", "stronger"),
                             ("better", "better")])
@@ -275,9 +294,10 @@ def run_figure2a(n_runs: int = 60, seed: int = 0) -> CdfFigure:
         series)
 
 
-def run_figure2b(n_runs: int = 60, seed: int = 0) -> CdfFigure:
+def run_figure2b(n_runs: int = 60, seed: int = 0,
+                 backend: str = "event") -> CdfFigure:
     """Cross-link replication vs Divert (H=1, T=1)."""
-    rows = _wild_metrics(n_runs, seed)
+    rows = _wild_metrics(n_runs, seed, backend=backend)
     series = _series(rows, [("cross-link", "cross-link"),
                             ("divert", "divert")])
     return CdfFigure(
@@ -287,9 +307,10 @@ def run_figure2b(n_runs: int = 60, seed: int = 0) -> CdfFigure:
 
 # --------------------------------------------------------------- Figure 2c
 
-def run_figure2c(n_runs: int = 60, seed: int = 0) -> CdfFigure:
+def run_figure2c(n_runs: int = 60, seed: int = 0,
+                 backend: str = "event") -> CdfFigure:
     """Cross-link vs temporal replication (delta = 0 and 100 ms)."""
-    rows = _wild_metrics(n_runs, seed)
+    rows = _wild_metrics(n_runs, seed, backend=backend)
     series = _series(rows, [("cross-link", "cross-link"),
                             ("temporal (100ms)", "temporal:0.1"),
                             ("temporal (0ms)", "temporal:0.0"),
@@ -301,9 +322,10 @@ def run_figure2c(n_runs: int = 60, seed: int = 0) -> CdfFigure:
 
 # --------------------------------------------------------------- Figure 2d
 
-def run_figure2d(n_runs: int = 44, seed: int = 0) -> CdfFigure:
+def run_figure2d(n_runs: int = 44, seed: int = 0,
+                 backend: str = "event") -> CdfFigure:
     """With 802.11ac-style MIMO (2 spatial branches) on every link."""
-    rows = _wild_metrics(n_runs, seed, mimo_branches=2)
+    rows = _wild_metrics(n_runs, seed, mimo_branches=2, backend=backend)
     series = _series(rows, [("MIMO + cross-link", "cross-link"),
                             ("MIMO + stronger", "stronger"),
                             ("MIMO + better", "better")])
@@ -315,10 +337,11 @@ def run_figure2d(n_runs: int = 44, seed: int = 0) -> CdfFigure:
 # --------------------------------------------------------------- Figure 2e
 
 def run_figure2e(n_runs: int = 40, seed: int = 0,
-                 duration_s: float = 30.0) -> CdfFigure:
+                 duration_s: float = 30.0,
+                 backend: str = "event") -> CdfFigure:
     """High-rate (5 Mbps) streams (paper: 80 two-minute runs)."""
     rows = _wild_metrics(n_runs, seed, deltas=(), highrate=True,
-                         duration_s=duration_s)
+                         duration_s=duration_s, backend=backend)
     series = _series(rows, [("cross-link", "cross-link"),
                             ("stronger", "stronger"),
                             ("better", "better")])
@@ -413,8 +436,9 @@ class Figure4Result:
 
 
 def run_figure4(n_runs: int = 60, seed: int = 0,
-                max_lag: int = 20) -> Figure4Result:
-    rows = _wild_metrics(n_runs, seed, max_lag=max_lag)
+                max_lag: int = 20,
+                backend: str = "event") -> Figure4Result:
+    rows = _wild_metrics(n_runs, seed, max_lag=max_lag, backend=backend)
     if rows:
         auto = np.mean(np.vstack([row["autocorr"] for row in rows]), axis=0)
         cross = np.mean(np.vstack([row["crosscorr"] for row in rows]),
@@ -446,8 +470,9 @@ class Figure5Result:
         return "\n\n".join(blocks)
 
 
-def run_figure5(n_runs: int = 60, seed: int = 0) -> Figure5Result:
-    rows = _wild_metrics(n_runs, seed)
+def run_figure5(n_runs: int = 60, seed: int = 0,
+                backend: str = "event") -> Figure5Result:
+    rows = _wild_metrics(n_runs, seed, backend=backend)
     labels = [("stronger", "stronger"),
               ("temporal (100ms)", "temporal:0.1"),
               ("cross-link", "cross-link")]
@@ -505,8 +530,8 @@ class Figure6Result:
                 f"{ci} (paper: 2.24x, 12.23% -> 5.45%)")
 
 
-def run_figure6(n_runs_per_scenario: int = 15, seed: int = 0
-                ) -> Figure6Result:
+def run_figure6(n_runs_per_scenario: int = 15, seed: int = 0,
+                backend: str = "event") -> Figure6Result:
     scenarios = ("microwave", "mobility", "weak_link", "congestion")
     pcr: Dict[str, Dict[str, float]] = {}
     all_scores: Dict[str, List[bool]] = {"stronger": [], "cross-link": []}
@@ -514,7 +539,7 @@ def run_figure6(n_runs_per_scenario: int = 15, seed: int = 0
         rows = _wild_metrics(
             n_runs_per_scenario,
             seed + zlib.crc32(scenario.encode()) % 1000,
-            deltas=(), scenario=scenario)
+            deltas=(), scenario=scenario, backend=backend)
         pcr[scenario] = {}
         for name in ("stronger", "cross-link"):
             poors = [bool(row["poor"][name]) for row in rows]

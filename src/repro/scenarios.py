@@ -27,7 +27,7 @@ Key modelling choices mirroring the paper's observations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -73,9 +73,11 @@ def _phy(mimo_branches: int) -> PhyConfig:
     return PhyConfig(n_spatial_branches=mimo_branches)
 
 
-def _gilbert(rng, mean_bad_lo=0.08, mean_bad_hi=0.5,
-             loss_bad_lo=0.35, loss_bad_hi=0.9,
-             mean_good_lo=4.0, mean_good_hi=40.0) -> GilbertParams:
+def _gilbert(rng: np.random.Generator,
+             mean_bad_lo: float = 0.08, mean_bad_hi: float = 0.5,
+             loss_bad_lo: float = 0.35, loss_bad_hi: float = 0.9,
+             mean_good_lo: float = 4.0,
+             mean_good_hi: float = 40.0) -> GilbertParams:
     """Draw per-run Gilbert parameters from a scenario's range."""
     return GilbertParams(
         mean_good_s=float(rng.uniform(mean_good_lo, mean_good_hi)),
@@ -84,9 +86,65 @@ def _gilbert(rng, mean_bad_lo=0.08, mean_bad_hi=0.5,
         loss_bad=float(rng.uniform(loss_bad_lo, loss_bad_hi)))
 
 
-def build_scenario(name: str, rng_router: RandomRouter,
-                   mimo_branches: int = 1) -> Tuple[WifiLink, WifiLink]:
-    """Instantiate the two candidate links for one run of ``name``."""
+#: Mobility models accepted by :class:`WifiLink` (duck-typed:
+#: ``position_at(time)`` + ``is_moving``).
+MobilityModel = Union[StaticPosition, RandomWaypointMobility]
+
+
+@dataclass(frozen=True)
+class InterferenceSpec:
+    """A deferred interference source: kind + stream + drawn parameters.
+
+    The scenario's *parameters* are drawn eagerly (on
+    ``scenario.params``, in the scenario's canonical order) but the
+    stateful process object is only constructed on demand, so both the
+    event backend (which needs the live object) and the batch backend
+    (which renders the process as arrays straight from ``stream``) see
+    the same realization: the process's own draws are the first draws
+    of its named stream either way.
+    """
+
+    kind: str                              # "oven" | "congestion"
+    stream: str                            # RandomRouter stream name
+    params: Tuple[Tuple[str, float], ...]  # constructor kwargs, ordered
+
+    def params_dict(self) -> Dict[str, float]:
+        return dict(self.params)
+
+    def build(self, rng_router: RandomRouter
+              ) -> Union[MicrowaveOven, CongestionProcess]:
+        """Construct the live process for the event backend."""
+        if self.kind == "oven":
+            return MicrowaveOven(rng_router.stream(self.stream),
+                                 **self.params_dict())
+        if self.kind == "congestion":
+            return CongestionProcess(rng_router.stream(self.stream),
+                                     **self.params_dict())
+        raise ValueError(f"unknown interference kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioSetup:
+    """Everything :func:`build_scenario` draws before links exist.
+
+    The shared parameter layer between the event and batch backends:
+    identical per-(seed, index) realizations require that both backends
+    consume ``scenario.params`` / ``scenario.mobility`` / the
+    interference streams in exactly the order recorded here.
+    """
+
+    name: str
+    config_a: LinkConfig
+    config_b: LinkConfig
+    mobility: MobilityModel
+    shared_interference: Optional[InterferenceSpec] = None
+    interference_a: Optional[InterferenceSpec] = None
+    interference_b: Optional[InterferenceSpec] = None
+
+
+def scenario_setup(name: str, rng_router: RandomRouter,
+                   mimo_branches: int = 1) -> ScenarioSetup:
+    """Draw one run's scenario parameters (shared event/batch layer)."""
     rng = rng_router.stream("scenario.params")
     phy = _phy(mimo_branches)
 
@@ -105,7 +163,7 @@ def build_scenario(name: str, rng_router: RandomRouter,
                              loss_bad_lo=0.2, loss_bad_hi=0.6,
                              mean_good_lo=15.0, mean_good_hi=60.0),
             phy=phy, rician_k_db=6.0)
-        return paired_links(config_a, config_b, rng_router, mobility=client)
+        return ScenarioSetup(name, config_a, config_b, client)
 
     if name == "weak_link":
         # Far corner of a large space: both links weak, B weaker.  Outage
@@ -131,7 +189,7 @@ def build_scenario(name: str, rng_router: RandomRouter,
                              loss_bad_lo=0.85, loss_bad_hi=1.0,
                              mean_good_lo=10.0, mean_good_hi=40.0),
             phy=phy, environment_drift=True, shadowing_update_s=2.0)
-        return paired_links(config_a, config_b, rng_router, mobility=client)
+        return ScenarioSetup(name, config_a, config_b, client)
 
     if name == "mobility":
         # A walk across a large floor: a link can die completely when the
@@ -155,7 +213,7 @@ def build_scenario(name: str, rng_router: RandomRouter,
                              loss_bad_lo=0.8, loss_bad_hi=1.0,
                              mean_good_lo=20.0, mean_good_hi=60.0),
             phy=phy, shadowing_update_s=0.5)
-        return paired_links(config_a, config_b, rng_router, mobility=walk)
+        return ScenarioSetup(name, config_a, config_b, walk)
 
     if name == "congestion":
         # Heavy co-channel contention: long busy spells inflate queueing
@@ -163,18 +221,16 @@ def build_scenario(name: str, rng_router: RandomRouter,
         # outage-grade loss runs on the busy channel.
         client = StaticPosition(Position(
             float(rng.uniform(6.0, 20.0)), float(rng.uniform(3.0, 12.0))))
-        heavy = CongestionProcess(
-            rng_router.stream("scenario.congestion.a"),
-            mean_busy_s=float(rng.uniform(1.0, 5.0)),
-            mean_idle_s=float(rng.uniform(2.0, 8.0)),
-            busy_delay_s=float(rng.uniform(0.020, 0.060)),
-            collision_prob=float(rng.uniform(0.3, 0.6)))
-        light = CongestionProcess(
-            rng_router.stream("scenario.congestion.b"),
-            mean_busy_s=float(rng.uniform(0.3, 1.5)),
-            mean_idle_s=float(rng.uniform(3.0, 8.0)),
-            busy_delay_s=float(rng.uniform(0.005, 0.020)),
-            collision_prob=float(rng.uniform(0.15, 0.35)))
+        heavy = InterferenceSpec("congestion", "scenario.congestion.a", (
+            ("mean_busy_s", float(rng.uniform(1.0, 5.0))),
+            ("mean_idle_s", float(rng.uniform(2.0, 8.0))),
+            ("busy_delay_s", float(rng.uniform(0.020, 0.060))),
+            ("collision_prob", float(rng.uniform(0.3, 0.6)))))
+        light = InterferenceSpec("congestion", "scenario.congestion.b", (
+            ("mean_busy_s", float(rng.uniform(0.3, 1.5))),
+            ("mean_idle_s", float(rng.uniform(3.0, 8.0))),
+            ("busy_delay_s", float(rng.uniform(0.005, 0.020))),
+            ("collision_prob", float(rng.uniform(0.15, 0.35)))))
         config_a = LinkConfig(
             name="A", channel=1, ap_position=OFFICE_AP_PRIMARY,
             gilbert=_gilbert(rng, mean_bad_lo=0.3, mean_bad_hi=1.0,
@@ -187,8 +243,8 @@ def build_scenario(name: str, rng_router: RandomRouter,
                              loss_bad_lo=0.7, loss_bad_hi=1.0,
                              mean_good_lo=20.0, mean_good_hi=80.0),
             phy=phy)
-        return paired_links(config_a, config_b, rng_router, mobility=client,
-                            interference_a=heavy, interference_b=light)
+        return ScenarioSetup(name, config_a, config_b, client,
+                             interference_a=heavy, interference_b=light)
 
     if name == "microwave":
         # Shared-fate interference: every nearby AP is on 2.4 GHz (the
@@ -196,13 +252,12 @@ def build_scenario(name: str, rng_router: RandomRouter,
         # cross-link diversity gains little here.
         client = StaticPosition(Position(
             float(rng.uniform(8.0, 18.0)), float(rng.uniform(3.0, 12.0))))
-        oven = MicrowaveOven(
-            rng_router.stream("scenario.oven"),
-            episode_rate_hz=1.0 / float(rng.uniform(30.0, 90.0)),
-            episode_duration_s=float(rng.uniform(20.0, 60.0)),
-            duty_cycle=float(rng.uniform(0.5, 0.65)),
-            penalty_db=float(rng.uniform(25.0, 35.0)),
-            floor_penalty_db=float(rng.uniform(10.0, 18.0)))
+        oven = InterferenceSpec("oven", "scenario.oven", (
+            ("episode_rate_hz", 1.0 / float(rng.uniform(30.0, 90.0))),
+            ("episode_duration_s", float(rng.uniform(20.0, 60.0))),
+            ("duty_cycle", float(rng.uniform(0.5, 0.65))),
+            ("penalty_db", float(rng.uniform(25.0, 35.0))),
+            ("floor_penalty_db", float(rng.uniform(10.0, 18.0)))))
         config_a = LinkConfig(
             name="A", channel=6, ap_position=OFFICE_AP_PRIMARY,
             gilbert=_gilbert(rng, mean_bad_lo=0.1, mean_bad_hi=0.5,
@@ -215,10 +270,30 @@ def build_scenario(name: str, rng_router: RandomRouter,
                              loss_bad_lo=0.7, loss_bad_hi=1.0,
                              mean_good_lo=20.0, mean_good_hi=60.0),
             phy=phy)
-        return paired_links(config_a, config_b, rng_router, mobility=client,
-                            shared_interference=oven)
+        return ScenarioSetup(name, config_a, config_b, client,
+                             shared_interference=oven)
 
     raise ValueError(f"unknown scenario {name!r}")
+
+
+def _build_interference(spec: Optional[InterferenceSpec],
+                        rng_router: RandomRouter) -> Any:
+    return None if spec is None else spec.build(rng_router)
+
+
+def build_scenario(name: str, rng_router: RandomRouter,
+                   mimo_branches: int = 1) -> Tuple[WifiLink, WifiLink]:
+    """Instantiate the two candidate links for one run of ``name``."""
+    setup = scenario_setup(name, rng_router, mimo_branches)
+    return paired_links(
+        setup.config_a, setup.config_b, rng_router,
+        mobility=setup.mobility,
+        shared_interference=_build_interference(
+            setup.shared_interference, rng_router),
+        interference_a=_build_interference(
+            setup.interference_a, rng_router),
+        interference_b=_build_interference(
+            setup.interference_b, rng_router))
 
 
 def sample_scenario_name(rng, mix: Sequence[ScenarioSpec] = WILD_MIX) -> str:

@@ -28,7 +28,7 @@ is a *finding* of the synthetic study, not something hard-coded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -55,8 +55,11 @@ class ProviderDataset:
 
     calls: List[RatedCall] = field(default_factory=list)
 
-    def pcr(self, calls: Sequence[RatedCall] = None) -> float:
-        subset = self.calls if calls is None else list(calls)
+    def pcr(self, calls: Optional[Sequence[RatedCall]] = None) -> float:
+        if calls is None:
+            subset: Sequence[RatedCall] = self.calls
+        else:
+            subset = list(calls)
         if not subset:
             return float("nan")
         return float(np.mean([c.poor for c in subset]))

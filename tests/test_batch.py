@@ -1,0 +1,230 @@
+"""Unit tests for the vectorized batch backend (repro.batch).
+
+Covers the properties equivalence sampling alone cannot: bit-exact
+render determinism, block-slice invariance (any subset of the
+population renders identically to the same sessions inside a larger
+block), and exact per-session parity of the vectorized strategy /
+summary reductions against their event-path counterparts on shared
+traces.  Statistical batch-vs-event equivalence lives in
+``tests/test_batch_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.population import PopulationSpec
+from repro.batch.render import TraceBlock, ar1_complex, render_block
+from repro.batch.strategies import strategy_suite
+from repro.batch.summary import (
+    correlation_rows,
+    mos_rows,
+    session_payloads,
+    worst_window_rows,
+)
+from repro.channel.fast import _ar1_complex
+from repro.core import strategies as event_strategies
+from repro.core.config import StreamProfile
+from repro.experiments.section4 import wild_run_metrics
+from repro.voice.pcr import POOR_MOS_THRESHOLD, score_call
+
+SPEC = PopulationSpec(n_sessions=6, root_seed=0, deltas=(0.0, 0.1),
+                      duration_s=10.0)
+
+
+@pytest.fixture(scope="module")
+def block():
+    return render_block(SPEC)
+
+
+# ------------------------------------------------------------- rendering
+
+def test_ar1_matches_fast_renderer_exactly():
+    """The batch AR(1) (convolution form) consumes the same draws and
+    produces the same sequence as the fast renderer's lfilter/loop."""
+    for n, rho in ((1, 0.9), (500, 0.0), (2_000, 0.74), (3_000, 0.999)):
+        ours = ar1_complex(n, rho, np.random.default_rng(11))
+        reference = _ar1_complex(n, rho, np.random.default_rng(11))
+        np.testing.assert_allclose(ours, reference, rtol=1e-9, atol=1e-12)
+
+
+def test_render_block_deterministic(block):
+    again = render_block(SPEC)
+    assert again.scenarios == block.scenarios
+    assert np.array_equal(again.delivered, block.delivered)
+    assert np.allclose(again.delays, block.delays, equal_nan=True)
+    assert np.array_equal(again.offset_delivered, block.offset_delivered)
+    assert np.array_equal(again.rssi_dbm, block.rssi_dbm)
+
+
+def test_render_block_slice_invariance(block):
+    """Sessions are derived from (root_seed, index) alone, so rendering
+    a subset block reproduces the exact same rows — the property block
+    sharding and cache addressing rely on."""
+    subset = render_block(SPEC, indices=[1, 4])
+    for row, index in enumerate(subset.indices):
+        pos = block.indices.index(index)
+        assert subset.scenarios[row] == block.scenarios[pos]
+        assert np.array_equal(subset.delivered[row],
+                              block.delivered[pos])
+        assert np.allclose(subset.delays[row], block.delays[pos],
+                           equal_nan=True)
+        assert np.array_equal(subset.offset_delivered[row],
+                              block.offset_delivered[pos])
+
+
+def test_block_shapes(block):
+    n = SPEC.profile.n_packets
+    assert block.delivered.shape == (6, 2, n)
+    assert block.delays.shape == (6, 2, n)
+    assert block.offset_delivered.shape == (6, 2, n)
+    assert block.rssi_dbm.shape == (6, 2)
+    assert np.isnan(block.delays[~block.delivered]).all()
+    assert not np.isnan(block.delays[block.delivered]).any()
+
+
+def test_block_scenarios_from_wild_mix(block):
+    known = {"benign", "weak_link", "mobility", "congestion", "microwave"}
+    assert set(block.scenarios) <= known
+
+
+# ----------------------------------------------- strategy/summary parity
+
+def test_strategy_suite_matches_event_strategies(block):
+    """On identical traces every vectorized strategy must reproduce the
+    scalar strategy's outcome exactly, session by session."""
+    suite = dict((name, (delivered, delays))
+                 for name, delivered, delays in strategy_suite(block))
+    event_suite = {
+        "cross-link": event_strategies.cross_link,
+        "stronger": event_strategies.stronger,
+        "better": event_strategies.better,
+        "divert": lambda r: event_strategies.divert(r, window_h=1,
+                                                    threshold_t=1),
+        "baseline": event_strategies.baseline,
+        "temporal:0.0": lambda r: event_strategies.temporal(r, 0.0),
+        "temporal:0.1": lambda r: event_strategies.temporal(r, 0.1),
+    }
+    assert set(suite) == set(event_suite)
+    for pos in range(block.n_sessions):
+        run = block.paired_run(pos)
+        for name, fn in event_suite.items():
+            trace = fn(run)
+            delivered, delays = suite[name]
+            assert np.array_equal(delivered[pos], trace.delivered), \
+                f"{name} delivered mismatch at session {pos}"
+            np.testing.assert_allclose(
+                delays[pos], trace.delays, equal_nan=True,
+                err_msg=f"{name} delays mismatch at session {pos}")
+
+
+def test_worst_window_rows_matches_scalar(block):
+    from repro.analysis.windows import worst_window_loss
+    spacing = block.spacing_s
+    losses = (~block.delivered[:, 0]).astype(float)
+    rows = worst_window_rows(losses, spacing)
+    for pos in range(block.n_sessions):
+        scalar = worst_window_loss(losses[pos],
+                                   inter_packet_spacing_s=spacing)
+        assert rows[pos] == pytest.approx(scalar, abs=1e-12)
+
+
+def test_mos_rows_matches_score_call(block):
+    for pos in range(block.n_sessions):
+        run = block.paired_run(pos)
+        trace = event_strategies.cross_link(run)
+        scalar = score_call(trace).mos
+        merged_del, merged_delay = (
+            np.asarray([trace.delivered]), np.asarray([trace.delays]))
+        vec = mos_rows(merged_del, merged_delay, block.spacing_s)[0]
+        assert vec == pytest.approx(scalar, abs=1e-9)
+
+
+def test_correlation_rows_matches_scalar(block):
+    from repro.analysis.correlation import loss_autocorrelation
+    x = (~block.delivered[:, 0]).astype(float)
+    rows = correlation_rows(x, x, max_lag=8)
+    for pos in range(block.n_sessions):
+        run = block.paired_run(pos)
+        scalar = loss_autocorrelation(run.trace_a, max_lag=8)
+        np.testing.assert_allclose(rows[pos], scalar, atol=1e-12)
+
+
+def test_correlation_rows_degenerate_zero():
+    flat = np.zeros((2, 50))
+    assert not correlation_rows(flat, flat, max_lag=5).any()
+    short = np.ones((1, 2))
+    assert not correlation_rows(short, short, max_lag=5).any()
+
+
+def test_session_payloads_shape_matches_event_payload(block):
+    payloads = session_payloads(block)
+    assert len(payloads) == block.n_sessions
+    reference = wild_run_metrics(
+        0, root_seed=SPEC.root_seed, deltas=SPEC.deltas,
+        duration_s=10.0)
+    assert set(payloads[0]) == set(reference)
+    assert set(payloads[0]["worst_window"]) \
+        == set(reference["worst_window"])
+    assert set(payloads[0]["poor"]) == set(reference["poor"])
+    assert set(payloads[0]["bursts"]) == set(reference["bursts"])
+    assert len(payloads[0]["autocorr"]) == len(reference["autocorr"])
+    for name, contribution in payloads[0]["bursts"].items():
+        assert set(contribution) == {"buckets", "lost", "bursty"}
+        assert set(contribution["buckets"]) \
+            == set(reference["bursts"][name]["buckets"])
+
+
+def test_summary_poor_flag_uses_mos_threshold(block):
+    payloads = session_payloads(block)
+    suite = dict((name, (delivered, delays))
+                 for name, delivered, delays in strategy_suite(block))
+    delivered, delays = suite["stronger"]
+    mos = mos_rows(delivered, delays, block.spacing_s)
+    for pos, payload in enumerate(payloads):
+        assert payload["poor"]["stronger"] \
+            == bool(mos[pos] < POOR_MOS_THRESHOLD)
+
+
+# ----------------------------------------------------- synthetic blocks
+
+def synthetic_block(delivered_a, delays_a, delivered_b, delays_b):
+    delivered_a = np.asarray(delivered_a, dtype=bool)
+    n = delivered_a.shape[-1]
+    profile = StreamProfile(duration_s=n * 0.02)
+    delivered = np.stack([delivered_a, np.asarray(delivered_b,
+                                                  dtype=bool)], axis=1)
+    delays = np.stack([np.asarray(delays_a, dtype=float),
+                       np.asarray(delays_b, dtype=float)], axis=1)
+    b = delivered.shape[0]
+    return TraceBlock(
+        profile=profile, indices=tuple(range(b)),
+        scenarios=("benign",) * b, deltas=(),
+        send_times=np.arange(n) * 0.02,
+        delivered=delivered, delays=delays,
+        rssi_dbm=np.asarray([[-50.0, -60.0]] * b),
+        offset_delivered=np.zeros((b, 0, n), dtype=bool),
+        offset_delays=np.zeros((b, 0, n)))
+
+
+def test_divert_switches_after_loss():
+    """H=1, T=1: one loss on the current link flips to the other."""
+    block = synthetic_block(
+        [[True, False, True, True]], [[0.01, np.nan, 0.01, 0.01]],
+        [[True, True, False, True]], [[0.02, 0.02, np.nan, 0.02]])
+    suite = dict((name, (delivered, delays))
+                 for name, delivered, delays in strategy_suite(block))
+    delivered, delays = suite["divert"]
+    # packet 0 on A (ok), 1 on A (lost -> switch), 2 on B (lost ->
+    # switch back), 3 on A (ok)
+    assert delivered[0].tolist() == [True, False, False, True]
+    run = block.paired_run(0)
+    trace = event_strategies.divert(run, window_h=1, threshold_t=1)
+    assert np.array_equal(delivered[0], trace.delivered)
+
+
+def test_worst_window_rows_trailing_partial():
+    losses = np.asarray([[0.0] * 10 + [1.0]])
+    # window of 5 packets (0.1s window / 0.02 spacing): the trailing
+    # partial window is a single fully-lost packet
+    assert worst_window_rows(losses, 0.02, window_s=0.1)[0] == 1.0
+    assert worst_window_rows(losses[:, :0], 0.02)[0] == 0.0

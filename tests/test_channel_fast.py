@@ -61,6 +61,38 @@ def test_ar1_rho_zero_is_iid():
     assert abs(measured) < 0.02
 
 
+def _ar1_without_scipy(monkeypatch, n, rho, seed):
+    """Evaluate _ar1_complex with scipy imports forced to fail."""
+    import sys
+    monkeypatch.setitem(sys.modules, "scipy", None)
+    monkeypatch.setitem(sys.modules, "scipy.signal", None)
+    return _ar1_complex(n, rho=rho, rng=np.random.default_rng(seed))
+
+
+def test_ar1_scipy_free_fallback_matches_lfilter(monkeypatch):
+    """The loop fallback must reproduce the lfilter path exactly (same
+    stream, same draws) so a scipy-free install renders identical
+    channels — the numpy-only guarantee the module docstring promises."""
+    pytest.importorskip("scipy.signal")
+    for rho, seed in ((0.9, 4), (0.5, 5), (0.999, 6)):
+        with_scipy = _ar1_complex(4_000, rho=rho,
+                                  rng=np.random.default_rng(seed))
+        with monkeypatch.context() as patch:
+            fallback = _ar1_without_scipy(patch, 4_000, rho, seed)
+        np.testing.assert_allclose(fallback, with_scipy,
+                                   rtol=1e-9, atol=1e-12)
+
+
+def test_ar1_fallback_statistics(monkeypatch):
+    """The fallback path holds the AR(1) contract on its own: unit
+    power and lag-1 correlation rho."""
+    rho = 0.8
+    x = _ar1_without_scipy(monkeypatch, 100_000, rho, 7)
+    assert np.mean(np.abs(x) ** 2) == pytest.approx(1.0, rel=0.1)
+    measured = np.real(np.mean(x[1:] * np.conj(x[:-1])))
+    assert measured == pytest.approx(rho, abs=0.05)
+
+
 # --------------------------------------------------------- equivalence
 
 def mean_over_seeds(fn, config, seeds):

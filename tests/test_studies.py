@@ -106,6 +106,19 @@ def test_provider_pcr_empty_subset_nan():
     assert np.isnan(ds.pcr())
 
 
+def test_provider_pcr_none_vs_empty_subset():
+    """``calls=None`` means "the whole dataset", never "no calls": a
+    dataset with rated calls must score them, while an explicitly empty
+    subset (e.g. a filter that matched nothing) is NaN."""
+    ds = ProviderDataset(calls=[RatedCall(0, "EE", True, 1),
+                                RatedCall(0, "EE", True, 5)])
+    assert ds.pcr() == pytest.approx(0.5)
+    assert ds.pcr(None) == pytest.approx(0.5)
+    assert np.isnan(ds.pcr([]))
+    assert ds.pcr(ds.calls[:1]) == pytest.approx(1.0)
+    assert ds.pcr([c for c in ds.calls if not c.poor]) == pytest.approx(0.0)
+
+
 def test_rated_call_poor_definition():
     assert RatedCall(0, "EE", True, 1).poor
     assert RatedCall(0, "EE", True, 2).poor

@@ -33,6 +33,13 @@ Rationale per entry:
     process boundaries — exactly where a silently mismatched keyword or
     unit would be hardest to debug.
 
+``src/repro/batch/``
+    the vectorized population backend runs *inside* runner workers (its
+    block tasks are mapped through ``map_configs`` and cached by
+    content address), so it inherits the runner's zero-exemption
+    stance: all rule families apply in full, including the pass-4
+    SER/IMP/KEY checks on its task entry points.
+
 The pass-4 families (SER — payload picklability under spawn, IMP —
 import-time hazards in worker-imported modules, KEY — cache-key
 soundness) are exempt *nowhere*.  They fire only on code reachable from
@@ -52,4 +59,5 @@ from lintcore.policy import PathPolicy
 DEFAULT_POLICY = PathPolicy((
     ("tests/", ("LIF002", "LIF003", "FLO003")),
     ("src/repro/runner/", ()),
+    ("src/repro/batch/", ()),
 ))

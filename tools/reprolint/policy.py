@@ -26,6 +26,12 @@ with rationale:
       start method (DET004, added with the runner).  The empty entry
       records that decision so nobody "fixes" runner lint noise with a
       path exemption instead of fixing the code.
+* ``src/repro/batch/``
+    - same zero-exemption stance as the runner, for the same reason:
+      batch blocks execute inside runner workers and their results are
+      content-address cached, so any stray RNG, wall-clock read or
+      ad-hoc print poisons digests across serial/parallel/warm-cache
+      runs.
 
 Everything else (mutable defaults, overbroad excepts, slot-less Event
 classes...) applies everywhere, including to the linters themselves.
@@ -43,4 +49,5 @@ DEFAULT_POLICY = PathPolicy((
     ("tests/", ("DET001", "DET002", "DET003", "GEN103", "GEN105")),
     ("tools/", ("DET002", "DET003")),
     ("src/repro/runner/", ()),
+    ("src/repro/batch/", ()),
 ))

@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test lint lint-baseline typecheck sanitize-test bench \
 	bench-compare bench-pytest bench-smoke batch-smoke bench-full \
-	obs-smoke examples docs clean
+	obs-smoke sdn-smoke examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -130,6 +130,29 @@ obs-smoke:
 	@rm -rf .obs-smoke-cache .obs-smoke-serial.json .obs-smoke-jobs2.json \
 		.obs-smoke-warm.json .obs-smoke-warm-out
 	@echo "obs-smoke: serial, --jobs 2 and warm-cache metrics identical"
+
+# Control-plane determinism smoke: the QoE controller head-to-head
+# (event engine + SDN rules + middlebox valve) run serially, with
+# --jobs 2 and from a warm cache (sanitizer on) must print identical
+# batch digests — the controller's poll loop, reroutes and middlebox
+# start/stop schedule are part of the digested payload.
+sdn-smoke:
+	@rm -rf .sdn-smoke-cache
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro controller \
+		--runs 4 --cache-dir .sdn-smoke-cache \
+		| grep -o 'digest=[0-9a-f]*' > .sdn-smoke-serial
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro controller \
+		--runs 4 --no-cache --jobs 2 \
+		| grep -o 'digest=[0-9a-f]*' > .sdn-smoke-jobs2
+	cmp .sdn-smoke-serial .sdn-smoke-jobs2
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro controller \
+		--runs 4 --cache-dir .sdn-smoke-cache > .sdn-smoke-warm
+	grep -q 'executed=0' .sdn-smoke-warm
+	grep -o 'digest=[0-9a-f]*' .sdn-smoke-warm \
+		| cmp - .sdn-smoke-serial
+	@rm -rf .sdn-smoke-cache .sdn-smoke-serial .sdn-smoke-jobs2 \
+		.sdn-smoke-warm
+	@echo "sdn-smoke: serial, --jobs 2 and warm-cache digests identical"
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s \

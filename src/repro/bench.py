@@ -60,9 +60,10 @@ class BenchEntry:
 #: the fixed matrix — small on purpose: the numbers are a trajectory
 #: baseline, not a load test.  One entry per subsystem the roadmap's
 #: perf work targets (wifi channel+session sim, paired TCP sessions,
-#: switch micro-benchmark, middlebox retrieval path, and the two
-#: batch-backend phases: render-only and the full render+reduce
-#: pipeline).  The batch rows sweep a 1000-session population in one
+#: switch micro-benchmark, middlebox retrieval path, the QoE control
+#: plane head-to-head, and the two batch-backend phases: render-only
+#: and the full render+reduce pipeline).  The controller row counts 3
+#: sessions per seed — one per strategy.  The batch rows sweep a 1000-session population in one
 #: block so their sessions/s divides directly against ``wifi_session``
 #: for the batch-vs-event speedup.
 DEFAULT_MATRIX: Tuple[BenchEntry, ...] = (
@@ -74,6 +75,22 @@ DEFAULT_MATRIX: Tuple[BenchEntry, ...] = (
                "repro.experiments.section6:switch_delay_metrics", 8),
     BenchEntry("net_middlebox",
                "repro.experiments.section6:mbox_retrieval_metrics", 8),
+    BenchEntry("controller_sweep",
+               "repro.experiments.controlplane:controller_run_metrics", 2,
+               task_config={
+                   "root_seed": 0, "scenario": "mix", "n_paths": 3,
+                   "profile": {"name": "g711", "packet_size_bytes": 160,
+                               "inter_packet_spacing_s": 0.020,
+                               "duration_s": 20.0,
+                               "max_tolerable_delay_s": 0.100},
+                   "controller": {
+                       "poll_interval_s": 0.5, "ewma_alpha": 0.4,
+                       "reroute_margin_mos": 0.12, "probes_per_poll": 4,
+                       "probe_size_bytes": 64, "hedge_start_loss": 0.02,
+                       "hedge_stop_loss": 0.005,
+                       "extra_one_way_delay_s": 0.05,
+                       "rule_priority": 10}},
+               sessions_per_seed=3),
     BenchEntry("batch_render",
                "repro.batch.driver:render_block_metrics", 1,
                task_config={"count": 500, "root_seed": 0},

@@ -90,6 +90,9 @@ _COMMANDS: Dict[str, Tuple[Callable, Optional[int], str]] = {
     "nlinks": (lambda runs, seed: experiments.run_nlink_sweep(
         n_runs=runs or 10, seed=seed), 10,
         "diversity vs number of links (extension)"),
+    "controller": (lambda runs, seed: experiments.run_controller_sweep(
+        n_runs=runs or 8, seed=seed), 8,
+        "QoE control plane: hedge vs route vs replicate (extension)"),
     "fec": (lambda runs, seed: experiments.run_fec_comparison(
         n_runs=runs or 10, seed=seed), 10,
         "FEC coding vs replication (extension)"),

@@ -9,6 +9,17 @@ secondary AP until it receives **stop**.  This start-stop protocol is what
 the paper's current implementation uses instead of precise per-sequence
 selection, and is why the middlebox can still duplicate a few packets.
 
+Drain semantics (the data-plane contract the control plane builds on):
+
+* a **start** drains the buffer through the secondary AP at a light
+  per-packet spacing, then streams live replicas;
+* a **stop** arriving mid-drain cancels the in-flight forwards and puts
+  the undelivered packets *back into the buffer* (head-dropping and
+  counting if they no longer fit) — packets are forwarded, re-buffered
+  or counted in ``buffer_drops``, never silently discarded;
+* live replicas arriving while a drain is still pending are serialized
+  *behind* it, so delivery to the secondary AP is sequence-monotone.
+
 Service latency grows gently with the number of concurrent replicated
 flows (Section 6.4: +1.1 ms at 1000 streams).
 """
@@ -17,11 +28,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict
+from typing import Callable, Deque, Dict, Iterable, Optional, Tuple
 
 from repro.core.config import MiddleboxConfig
 from repro.core.packet import Packet
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
+
+#: per-packet spacing of a buffer drain (light serialization, well under
+#: the 20 ms media spacing)
+DRAIN_SPACING_S = 0.0002
 
 
 @dataclass
@@ -31,6 +46,8 @@ class MiddleboxStats:
     buffered: int = 0
     buffer_drops: int = 0
     forwarded: int = 0
+    #: drained packets put back into the buffer by a mid-drain stop
+    rebuffered: int = 0
     start_messages: int = 0
     stop_messages: int = 0
     retrieve_messages: int = 0
@@ -43,16 +60,23 @@ class _FlowBuffer:
         self.depth = depth
         self.queue: Deque[Packet] = deque()
         self.streaming = False
+        #: forwards scheduled but not yet delivered, in delivery order
+        self.pending: Deque[Tuple[Event, Packet]] = deque()
+        #: absolute sim time of the last scheduled pending forward
+        self.tail_time = 0.0
 
 
 class Middlebox:
     """Buffering and start/stop retrieval for replicated real-time flows."""
 
     def __init__(self, sim: Simulator,
-                 config: MiddleboxConfig = MiddleboxConfig(),
+                 config: Optional[MiddleboxConfig] = None,
                  name: str = "mbox"):
         self.sim = sim
-        self.config = config
+        # A fresh config per instance: a shared default-argument instance
+        # would alias every default-constructed middlebox to one object
+        # (the SER302-shaped stateful-default hazard).
+        self.config = config if config is not None else MiddleboxConfig()
         self.name = name
         self.stats = MiddleboxStats()
         self._flows: Dict[str, _FlowBuffer] = {}
@@ -74,7 +98,11 @@ class Middlebox:
         self.registered_streams += 1
 
     def deregister_flow(self, flow_id: str) -> None:
-        self._flows.pop(flow_id, None)
+        flow = self._flows.pop(flow_id, None)
+        if flow is not None:
+            for event, _ in flow.pending:
+                event.cancel()
+            flow.pending.clear()
         self._sinks.pop(flow_id, None)
         self.registered_streams = max(self.registered_streams - 1, 0)
 
@@ -93,7 +121,15 @@ class Middlebox:
         if flow is None:
             return
         if flow.streaming:
-            # While a retrieval is active, forward straight through.
+            if flow.pending:
+                # A drain is still in flight: serialize the live copy
+                # behind it so delivery stays sequence-monotone (a live
+                # forward overtaking still-scheduled buffered packets
+                # would reorder the secondary AP's stream).
+                self._schedule_forward(flow, packet, flow.tail_time
+                                       + DRAIN_SPACING_S - self.sim.now)
+                return
+            # No drain pending: forward straight through.
             self._forward(packet)
             return
         if len(flow.queue) >= flow.depth:
@@ -114,10 +150,10 @@ class Middlebox:
         flow.queue.clear()
         for i, packet in enumerate(drained):
             # Serialize the drain at a light per-packet spacing.
-            self.sim.call_in(delay + i * 0.0002, self._forward_if_streaming,
-                             flow_id, packet)
+            self._schedule_forward(flow, packet,
+                                   delay + i * DRAIN_SPACING_S)
 
-    def retrieve(self, flow_id: str, seqs) -> int:
+    def retrieve(self, flow_id: str, seqs: Iterable[int]) -> int:
         """Explicit per-sequence selection (Section 5.2.5's 'in
         principle' mode): forward exactly the requested sequence numbers
         and nothing else.  Returns how many of them were found in the
@@ -133,10 +169,10 @@ class Middlebox:
         wanted = set(seqs)
         delay = self.service_delay_s()
         found = 0
-        kept = deque()
+        kept: Deque[Packet] = deque()
         for packet in flow.queue:
             if packet.seq in wanted:
-                self.sim.call_in(delay + found * 0.0002,
+                self.sim.call_in(delay + found * DRAIN_SPACING_S,
                                  self._forward, packet)
                 found += 1
             else:
@@ -145,17 +181,51 @@ class Middlebox:
         return found
 
     def stop(self, flow_id: str) -> None:
-        """Client's stop message: back to buffering."""
+        """Client's stop message: back to buffering.
+
+        Packets still in flight from a pending drain are cancelled and
+        put back into the buffer in order (head-dropping and counting
+        any that no longer fit) — the old protocol let them fall on the
+        floor uncounted.
+        """
         flow = self._flows.get(flow_id)
         if flow is None:
             raise KeyError(f"unknown flow {flow_id!r}")
         self.stats.stop_messages += 1
         flow.streaming = False
+        if flow.pending:
+            # Pending forwards are older than anything buffered since
+            # (the buffer is only fed while not streaming), so they go
+            # back at the head, in their original order.
+            for event, packet in reversed(flow.pending):
+                event.cancel()
+                flow.queue.appendleft(packet)
+                self.stats.rebuffered += 1
+            flow.pending.clear()
+            while len(flow.queue) > flow.depth:
+                flow.queue.popleft()  # head drop
+                self.stats.buffer_drops += 1
 
-    def _forward_if_streaming(self, flow_id: str, packet: Packet) -> None:
-        flow = self._flows.get(flow_id)
-        if flow is not None and flow.streaming:
-            self._forward(packet)
+    # ------------------------------------------------------------------
+    # internals
+
+    def _schedule_forward(self, flow: _FlowBuffer, packet: Packet,
+                          delay: float) -> None:
+        """Queue one pending forward, keeping per-flow delivery FIFO."""
+        time = self.sim.now + max(delay, 0.0)
+        if flow.pending:
+            time = max(time, flow.tail_time + DRAIN_SPACING_S)
+        event = self.sim.call_at(time, self._deliver_pending, flow)
+        flow.pending.append((event, packet))
+        flow.tail_time = time
+
+    def _deliver_pending(self, flow: _FlowBuffer) -> None:
+        """Fire the oldest pending forward (events fire in FIFO order
+        because :meth:`_schedule_forward` keeps times non-decreasing)."""
+        if not flow.pending:
+            return
+        _, packet = flow.pending.popleft()
+        self._forward(packet)
 
     def _forward(self, packet: Packet) -> None:
         self.stats.forwarded += 1

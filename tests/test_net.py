@@ -252,3 +252,153 @@ def test_middlebox_deregister_reduces_load():
     mbox.register_flow("rt1", lambda p: None)
     mbox.deregister_flow("rt1")
     assert mbox.registered_streams == 1
+
+
+# ------------------------------------------- middlebox drain contract
+
+def test_middlebox_stop_mid_drain_rebuffers_in_flight():
+    # Regression: a stop arriving mid-drain used to let the forwards
+    # still in flight fall on the floor uncounted; they must be put
+    # back into the buffer so a later start can still deliver them.
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    got = []
+    mbox.register_flow("rt0", got.append)
+    for i in range(3):
+        sim.call_at(0.0, mbox.replica_arrival, packet(i))
+    sim.call_at(1.0, mbox.start, "rt0")
+    # The drain starts after the ~2.9 ms service delay and is spaced
+    # 0.2 ms per packet: this stop lands between forwards #1 and #2.
+    sim.call_at(1.0030, mbox.stop, "rt0")
+    sim.call_at(2.0, mbox.start, "rt0")
+    sim.run()
+    assert [p.seq for p in got] == [0, 1, 2]    # nothing lost
+    assert mbox.stats.rebuffered == 2
+    assert mbox.stats.buffer_drops == 0
+
+
+def test_middlebox_stop_rebuffer_head_drops_past_depth():
+    # Re-buffered in-flight packets must respect the shallow buffer:
+    # overflow is head-dropped and *counted*, never silent.
+    sim = Simulator()
+    mbox = make_middlebox(sim, depth=2)
+    got = []
+    mbox.register_flow("rt0", got.append)
+    for i in range(2):
+        sim.call_at(0.0, mbox.replica_arrival, packet(i))
+    sim.call_at(1.0, mbox.start, "rt0")
+    # A live replica joins the still-pending drain, then the stop
+    # arrives before any forward fired: 3 packets into a depth-2 buffer.
+    sim.call_at(1.0001, mbox.replica_arrival, packet(2))
+    sim.call_at(1.0010, mbox.stop, "rt0")
+    sim.call_at(2.0, mbox.start, "rt0")
+    sim.run()
+    assert [p.seq for p in got] == [1, 2]       # oldest head-dropped
+    assert mbox.stats.rebuffered == 3
+    assert mbox.stats.buffer_drops == 1
+
+
+def test_middlebox_live_replicas_do_not_overtake_drain():
+    # Regression: a live replica arriving while the drain was still
+    # pending used to be forwarded immediately, overtaking the buffered
+    # packets — the secondary AP saw 2, 0, 1.  Delivery must stay
+    # sequence-monotone.
+    sim = Simulator()
+    mbox = make_middlebox(sim)
+    got = []
+    mbox.register_flow("rt0", got.append)
+    for i in range(2):
+        sim.call_at(0.0, mbox.replica_arrival, packet(i))
+    sim.call_at(1.0, mbox.start, "rt0")
+    sim.call_at(1.0001, mbox.replica_arrival, packet(2))
+    # Long after the drain, live forwarding is immediate again.
+    sim.call_at(1.5, mbox.replica_arrival, packet(3))
+    sim.run()
+    seqs = [p.seq for p in got]
+    assert seqs == [0, 1, 2, 3]
+    assert seqs == sorted(seqs)
+
+
+def test_middlebox_default_config_not_shared():
+    # Regression: the config default argument was a single shared
+    # MiddleboxConfig instance aliased across every default-constructed
+    # middlebox.
+    sim = Simulator()
+    assert Middlebox(sim).config is not Middlebox(sim).config
+
+
+def test_middlebox_retrieve_leaves_unrequested_buffered():
+    # Per-sequence retrieval forwards exactly what was asked for; the
+    # rest stays buffered for a later start.
+    sim = Simulator()
+    mbox = make_middlebox(sim, depth=5)
+    got = []
+    mbox.register_flow("rt0", got.append)
+    for i in range(4):
+        sim.call_at(0.0, mbox.replica_arrival, packet(i))
+    found = []
+    sim.call_at(1.0, lambda: found.append(
+        mbox.retrieve("rt0", [1, 3, 7])))
+    sim.call_at(2.0, mbox.start, "rt0")
+    sim.run()
+    assert found == [2]                          # 7 was never buffered
+    assert [p.seq for p in got] == [1, 3, 0, 2]
+    assert mbox.stats.retrieve_messages == 1
+
+
+# ------------------------------------------------- SDN switch coverage
+
+def test_sdn_priority_tie_fifo_across_reinstalls():
+    # Equal-priority rules resolve FIFO, and that order must track the
+    # *latest* install sequence (the controller reinstalls rules on
+    # every reroute).
+    sim = Simulator()
+    sw = SdnSwitch(sim)
+    got = []
+    sw.attach_port("a", lambda p: got.append("a"))
+    sw.attach_port("b", lambda p: got.append("b"))
+
+    def install(first, second):
+        sw.remove_rules_for("rt0")
+        sw.install_rule(MatchAction(FlowMatch(flow_id="rt0"),
+                                    [first], priority=5))
+        sw.install_rule(MatchAction(FlowMatch(flow_id="rt0"),
+                                    [second], priority=5))
+
+    install("a", "b")
+    sim.call_at(0.0, sw.ingress, packet(0))
+    sim.call_at(1.0, install, "b", "a")
+    sim.call_at(2.0, sw.ingress, packet(1))
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_sdn_remove_rules_leaves_wildcard():
+    # remove_rules_for is exact-match: the default (wildcard) rule that
+    # carries all other traffic must survive a flow teardown.
+    sim = Simulator()
+    sw = SdnSwitch(sim)
+    got = []
+    sw.attach_port("client", got.append)
+    sw.attach_port("mirror", lambda p: None)
+    sw.install_rule(MatchAction(FlowMatch(flow_id="rt0"),
+                                ["mirror"], priority=9))
+    sw.install_rule(MatchAction(FlowMatch(), ["client"], priority=0))
+    assert sw.remove_rules_for("rt0") == 1
+    sim.call_at(0.0, sw.ingress, packet(0))
+    sim.run()
+    assert [p.seq for p in got] == [0]
+    assert sw.table_misses == 0
+
+
+def test_sdn_miss_counted_after_removal():
+    # With the flow's rules gone and no wildcard, traffic becomes
+    # counted table misses, not an error.
+    sim = Simulator()
+    sw = SdnSwitch(sim)
+    sw.attach_port("client", lambda p: None)
+    sw.install_rule(MatchAction(FlowMatch(flow_id="rt0"), ["client"]))
+    sw.remove_rules_for("rt0")
+    sim.call_at(0.0, sw.ingress, packet(0))
+    sim.run()
+    assert sw.table_misses == 1

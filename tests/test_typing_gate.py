@@ -24,7 +24,8 @@ import pytest
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: the packages mypy.ini holds to a strict or strict-lite profile
-STRICT_PACKAGES = ("batch", "channel", "core", "obs", "runner", "sim")
+STRICT_PACKAGES = ("batch", "channel", "core", "net", "obs", "runner",
+                   "sim")
 
 STRICT_FILES = sorted(path for package in STRICT_PACKAGES
                       for path in (SRC / package).glob("*.py"))

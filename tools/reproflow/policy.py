@@ -40,6 +40,13 @@ Rationale per entry:
     stance: all rule families apply in full, including the pass-4
     SER/IMP/KEY checks on its task entry points.
 
+``src/repro/net/``
+    the SDN control plane (topology, link metrics, QoE controller) is
+    reached from the cached ``controlplane`` runner task, and every
+    controller decision lands in the digested payload, so it inherits
+    the same zero-exemption stance: UNT/LIF/CFG and the pass-3/4
+    dataflow families apply in full.
+
 The pass-4 families (SER — payload picklability under spawn, IMP —
 import-time hazards in worker-imported modules, KEY — cache-key
 soundness) are exempt *nowhere*.  They fire only on code reachable from
@@ -60,4 +67,5 @@ DEFAULT_POLICY = PathPolicy((
     ("tests/", ("LIF002", "LIF003", "FLO003")),
     ("src/repro/runner/", ()),
     ("src/repro/batch/", ()),
+    ("src/repro/net/", ()),
 ))

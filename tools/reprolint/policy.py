@@ -32,6 +32,13 @@ with rationale:
       content-address cached, so any stray RNG, wall-clock read or
       ad-hoc print poisons digests across serial/parallel/warm-cache
       runs.
+* ``src/repro/net/``
+    - zero exemptions, same reasoning again: the control plane
+      (topology, rolling link metrics, QoE controller) runs inside
+      cached runner tasks, and its decisions — reroutes, middlebox
+      start/stop — feed the digested payload.  A single unseeded draw
+      or wall-clock read in a poll loop would make the sdn-smoke
+      digests diverge between serial and --jobs runs.
 
 Everything else (mutable defaults, overbroad excepts, slot-less Event
 classes...) applies everywhere, including to the linters themselves.
@@ -50,4 +57,5 @@ DEFAULT_POLICY = PathPolicy((
     ("tools/", ("DET002", "DET003")),
     ("src/repro/runner/", ()),
     ("src/repro/batch/", ()),
+    ("src/repro/net/", ()),
 ))

@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test lint lint-baseline typecheck sanitize-test bench \
 	bench-compare bench-pytest bench-smoke batch-smoke bench-full \
-	obs-smoke sdn-smoke examples docs clean
+	obs-smoke sdn-smoke population-smoke examples docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -153,6 +153,46 @@ sdn-smoke:
 	@rm -rf .sdn-smoke-cache .sdn-smoke-serial .sdn-smoke-jobs2 \
 		.sdn-smoke-warm
 	@echo "sdn-smoke: serial, --jobs 2 and warm-cache digests identical"
+
+# Population-study determinism smoke: a 50k-call provider population
+# (4 blocks x 2 passes) and a small NetTest population, each run
+# serially, with --jobs 2 and from a warm cache (sanitizer on), must
+# print identical batch digests, and the warm rerun must execute zero
+# blocks — the streaming-sketch merge is byte-stable across scheduling
+# and caching modes.
+population-smoke:
+	@rm -rf .population-smoke-cache
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro provider \
+		--calls 50000 --cache-dir .population-smoke-cache \
+		| grep -o 'digest=[0-9a-f]*' > .population-smoke-serial
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro provider \
+		--calls 50000 --no-cache --jobs 2 \
+		| grep -o 'digest=[0-9a-f]*' > .population-smoke-jobs2
+	cmp .population-smoke-serial .population-smoke-jobs2
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro provider \
+		--calls 50000 --cache-dir .population-smoke-cache \
+		> .population-smoke-warm
+	grep -q 'executed=0' .population-smoke-warm
+	grep -o 'digest=[0-9a-f]*' .population-smoke-warm \
+		| cmp - .population-smoke-serial
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro nettest \
+		--calls 200 --cache-dir .population-smoke-cache \
+		| grep -o 'digest=[0-9a-f]*' > .population-smoke-nt-serial
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro nettest \
+		--calls 200 --no-cache --jobs 2 \
+		| grep -o 'digest=[0-9a-f]*' > .population-smoke-nt-jobs2
+	cmp .population-smoke-nt-serial .population-smoke-nt-jobs2
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro nettest \
+		--calls 200 --cache-dir .population-smoke-cache \
+		> .population-smoke-nt-warm
+	grep -q 'executed=0' .population-smoke-nt-warm
+	grep -o 'digest=[0-9a-f]*' .population-smoke-nt-warm \
+		| cmp - .population-smoke-nt-serial
+	@rm -rf .population-smoke-cache .population-smoke-serial \
+		.population-smoke-jobs2 .population-smoke-warm \
+		.population-smoke-nt-serial .population-smoke-nt-jobs2 \
+		.population-smoke-nt-warm
+	@echo "population-smoke: serial, --jobs 2 and warm-cache digests identical"
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s \

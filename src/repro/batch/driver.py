@@ -33,7 +33,7 @@ from repro.batch.population import (
 from repro.batch.render import TraceBlock, render_block
 from repro.batch.sanity import check_block_equivalence
 from repro.batch.summary import session_payloads
-from repro.obs import RATIO_BUCKETS, SpanTracker
+from repro.obs import RATIO_BUCKETS, SimulatedClock, SpanTracker
 from repro.obs.runtime import active_registry, collecting
 from repro.runner import RunnerConfig, map_configs
 from repro.sim.sanitize import sanitizer_enabled
@@ -41,24 +41,6 @@ from repro.sim.sanitize import sanitizer_enabled
 #: runner entry points
 BATCH_TASK = "repro.batch.driver:population_block_metrics"
 RENDER_TASK = "repro.batch.driver:render_block_metrics"
-
-
-class _ProgressClock:
-    """Span clock in simulated seconds of rendered traffic.
-
-    Runner tasks must not observe wall-clock time (metrics travel with
-    cached results, so any nondeterminism would poison digests); spans
-    advance by the simulated duration each phase covered instead.
-    """
-
-    def __init__(self) -> None:
-        self._now_s = 0.0
-
-    def advance(self, dt_s: float) -> None:
-        self._now_s += dt_s
-
-    def __call__(self) -> float:
-        return self._now_s
 
 
 def _population_spec(start: int, count: int, root_seed: int,
@@ -92,7 +74,7 @@ def _observe_block(block: TraceBlock) -> None:
 def _render_with_spans(spec: PopulationSpec, start: int,
                        count: int) -> TraceBlock:
     registry = active_registry()
-    clock = _ProgressClock()
+    clock = SimulatedClock()
     tracker = SpanTracker(clock, registry=registry, source="batch") \
         if registry is not None else None
     span = tracker.span("batch.render", block=start) if tracker else None
@@ -121,7 +103,7 @@ def population_block_metrics(start: int, *, count: int, root_seed: int,
                             mimo_branches, highrate, duration_s,
                             scenario, max_lag)
     registry = active_registry()
-    clock = _ProgressClock()
+    clock = SimulatedClock()
     tracker = SpanTracker(clock, registry=registry, source="batch") \
         if registry is not None else None
 

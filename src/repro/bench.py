@@ -99,6 +99,23 @@ DEFAULT_MATRIX: Tuple[BenchEntry, ...] = (
                "repro.batch.driver:population_block_metrics", 1,
                task_config={"count": 1000, "root_seed": 0},
                sessions_per_seed=1000),
+    # The Section 3 population studies: the scalar per-call loop as the
+    # baseline (one spec = one 20k-call provider year) against the
+    # vectorized pass-1 block task (one spec = one full 16384-call
+    # block) — the pair whose ratio is the population speedup.  The
+    # nettest row is one protocol block of full trace simulations.
+    BenchEntry("provider_scalar",
+               "repro.experiments.section3:table1_metrics", 1,
+               task_config={"n_calls": 20_000},
+               sessions_per_seed=20_000),
+    BenchEntry("provider_population",
+               "repro.studies.population:provider_pass1_metrics", 1,
+               task_config={"count": 16_384, "root_seed": 0},
+               sessions_per_seed=16_384),
+    BenchEntry("nettest_population",
+               "repro.studies.population:nettest_block_metrics", 1,
+               task_config={"count": 64, "root_seed": 0, "scale": 1.0},
+               sessions_per_seed=64),
 )
 
 

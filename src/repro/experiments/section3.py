@@ -23,6 +23,12 @@ from repro.studies.nettest import (
     NetTestDataset,
     run_nettest_study,
 )
+from repro.studies.population import (
+    NetTestPopulationTables,
+    ProviderPopulationTables,
+    nettest_population_study,
+    provider_population_study,
+)
 from repro.studies.provider import (
     Table1Row,
     analyze_table1,
@@ -198,3 +204,77 @@ def run_figure1(seed: int = 0) -> Figure1Result:
                    for loc, (bssids, channels)
                    in zip(SURVEY_LOCATIONS, payload["counts"])],
         residential_multi_fraction=payload["residential_multi_fraction"])
+
+
+# ------------------------------------------- whole-population backends
+
+@dataclass
+class ProviderPopulationResult:
+    """Table 1 at population scale (streaming sketches, no call list)."""
+
+    tables: ProviderPopulationTables
+
+    def render(self) -> str:
+        t = self.tables
+        rows = [[row.label, f"{row.delta_ee_pct:+.1f}%",
+                 f"{row.delta_ew_pct:+.1f}%", f"{row.delta_ww_pct:+.1f}%",
+                 row.n_calls]
+                for row in t.rows]
+        table = render_table(
+            "Table 1 (population backend): change in PCR relative to "
+            "the baseline (+ = better, - = worse)",
+            ["Subset", "EE", "EW", "WW", "#calls"], rows)
+        lo, hi = t.pcr_wilson
+        mos = t.mos_moments
+        return (f"{table}\n"
+                f"calls generated: {t.n_calls:,}  "
+                f"rated: {t.n_rated_calls:,}\n"
+                f"overall PCR: {t.overall_pcr * 100:.2f}%  "
+                f"(95% Wilson: {lo * 100:.2f}-{hi * 100:.2f}%)\n"
+                f"rated-call MOS: mean={mos.mean:.3f} "
+                f"sd={mos.stddev:.3f}  "
+                f"p10/p50/p90={t.mos_cdf.quantile(0.10):.2f}/"
+                f"{t.mos_cdf.quantile(0.50):.2f}/"
+                f"{t.mos_cdf.quantile(0.90):.2f} "
+                f"(grid resolution {t.mos_cdf.bin_width:.3f})")
+
+
+def run_provider_population(n_calls: int = 1_000_000,
+                            seed: int = 0) -> ProviderPopulationResult:
+    """The provider study at population scale (``repro provider``)."""
+    return ProviderPopulationResult(
+        tables=provider_population_study(n_calls=n_calls, seed=seed))
+
+
+@dataclass
+class NetTestPopulationResult:
+    """Table 2 at population scale (runner-sharded blocks)."""
+
+    tables: NetTestPopulationTables
+
+    def render(self) -> str:
+        t = self.tables
+        rows = [[category, n, f"{pcr:.2f}"] for category, n, pcr in t.rows]
+        table = render_table(
+            "Table 2 (population backend): poor call rates by call "
+            "category", ["Call Type", "Total Calls", "PCR (%)"], rows)
+        lo, hi = t.pcr_wilson
+        mos = t.mos_moments
+        return (f"{table}\n"
+                f"overall PCR: {t.overall_pcr * 100:.2f}%  "
+                f"(95% Wilson: {lo * 100:.2f}-{hi * 100:.2f}%)\n"
+                f"users with >=1 poor call: "
+                f"{t.frac_users_any_poor * 100:.1f}%  (paper: 57.9%)\n"
+                f"users with PCR >= 20%:    "
+                f"{t.frac_users_pcr20 * 100:.1f}%  (paper: 16.3%)\n"
+                f"call MOS: mean={mos.mean:.3f} sd={mos.stddev:.3f}  "
+                f"p10/p50/p90={t.mos_cdf.quantile(0.10):.2f}/"
+                f"{t.mos_cdf.quantile(0.50):.2f}/"
+                f"{t.mos_cdf.quantile(0.90):.2f}")
+
+
+def run_nettest_population(seed: int = 0, scale: float = 1.0
+                           ) -> NetTestPopulationResult:
+    """The NetTest study sharded over runner blocks (``repro nettest``)."""
+    return NetTestPopulationResult(
+        tables=nettest_population_study(seed=seed, scale=scale))

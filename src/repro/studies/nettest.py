@@ -14,12 +14,29 @@ spikes; the trace is scored through the same G.711/playout/E-model
 pipeline as everything else.  The playout buffer adapts to the path's base
 delay, so only *jitter* beyond the buffer causes late losses, while the
 base delay enters the E-model's delay impairment.
+
+Block protocol
+--------------
+
+Like the provider study, call randomness is block-structured for
+population scale: the schedule (category per global call index, in
+:data:`CATEGORY_COUNTS` order) is a pure function of ``scale``; the
+shared per-client state comes from the root router's
+``"nettest.clients"`` stream; and call ``i`` draws everything else from
+its *own* stream ``f"call-{j}"`` of block ``i // NETTEST_BLOCK``'s
+private router.  Each call's trace simulation is data-dependent (the
+Gilbert chain and busy-spell loops consume a variable number of draws),
+which is exactly why every call gets a private stream: any block — and
+any call within it — can be rendered independently, in any process, and
+:func:`run_nettest_study` and the population backend
+(:mod:`repro.studies.population`) produce bit-identical calls because
+they execute the same :func:`simulate_call` on the same streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +56,11 @@ CATEGORY_COUNTS = {
 
 N_CLIENTS = 274
 N_AZURE_NODES = 10
+
+#: calls per protocol block — the unit the population backend shards,
+#: caches and streams (each call is a full 2-minute trace simulation,
+#: so blocks are much smaller than the provider study's).
+NETTEST_BLOCK = 64
 
 
 @dataclass
@@ -61,7 +83,7 @@ class NetTestDataset:
 
     calls: List[NetTestCall] = field(default_factory=list)
 
-    def pcr(self, category: str = None) -> float:
+    def pcr(self, category: Optional[str] = None) -> float:
         subset = [c for c in self.calls
                   if category is None or c.category == category]
         if not subset:
@@ -152,55 +174,135 @@ def _busy_spells(rng: np.random.Generator, n: int, busy_prob: float,
     return out
 
 
+# ---------------------------------------------------------------------------
+# block protocol
+
+@dataclass(frozen=True)
+class ClientState:
+    """Shared per-participant state (quality processes, base delays).
+
+    Drawn once per population from the root router's
+    ``"nettest.clients"`` stream; every block — scalar or population
+    backend, any process — rebuilds the identical state.
+    """
+
+    quality: Tuple[GilbertParams, ...]
+    base_delay: np.ndarray
+
+
+def client_state(seed: int) -> ClientState:
+    """Draw the 274 participants' loss processes and base delays."""
+    stream = RandomRouter(seed).stream("nettest.clients")
+    quality = tuple(_client_gilbert(stream) for _ in range(N_CLIENTS))
+    #: base one-way delay per client to the nearest relay/peer region
+    base_delay = stream.uniform(0.020, 0.120, size=N_CLIENTS)
+    return ClientState(quality=quality, base_delay=base_delay)
+
+
+def call_schedule(scale: float = 1.0) -> List[Tuple[str, int]]:
+    """``(category, n_calls)`` in :data:`CATEGORY_COUNTS` order.
+
+    ``scale`` < 1 shrinks every category proportionally (for quick
+    tests); every category keeps at least one call.
+    """
+    return [(category, max(int(round(count * scale)), 1))
+            for category, count in CATEGORY_COUNTS.items()]
+
+
+def schedule_size(scale: float = 1.0) -> int:
+    """Total calls in the scaled schedule."""
+    return sum(count for _, count in call_schedule(scale))
+
+
+def category_of_index(index: int, scale: float = 1.0) -> str:
+    """Category of global call ``index`` under the scaled schedule."""
+    offset = 0
+    for category, count in call_schedule(scale):
+        offset += count
+        if index < offset:
+            return category
+    raise IndexError(
+        f"call {index} outside the {offset}-call schedule")
+
+
+def nettest_block_router(seed: int, block: int) -> RandomRouter:
+    """The private router of call block ``block``."""
+    return RandomRouter(seed).fork(f"nettest-block-{block}")
+
+
+def simulate_call(category: str, rng: np.random.Generator,
+                  clients: ClientState,
+                  profile: StreamProfile = G711_PROFILE) -> NetTestCall:
+    """Simulate and score one call from its private stream.
+
+    The draw order within the stream is fixed (endpoint picks, loss
+    processes, jitter, path extras); the *number* of draws is
+    data-dependent, which is why the stream is private to the call.
+    """
+    n = profile.n_packets
+    spacing = profile.inter_packet_spacing_s
+    relayed = "Relayed" in category
+    two_wifi = category.startswith("WW")
+
+    a = int(rng.integers(0, N_CLIENTS))
+    if two_wifi:
+        b = int(rng.integers(0, N_CLIENTS))
+    else:
+        b = -1
+
+    losses = sample_loss_array(clients.quality[a], n, spacing, rng)
+    if two_wifi:
+        losses = np.maximum(
+            losses,
+            sample_loss_array(clients.quality[b], n, spacing, rng))
+    jitter = _wan_jitter(rng, n, relayed)
+    delivered = losses < 0.5
+    delays = np.where(delivered, jitter, np.nan)
+    trace = LinkTrace(category,
+                      np.arange(n) * spacing, delivered, delays)
+
+    base_delay = float(clients.base_delay[a])
+    if not two_wifi:
+        # Azure endpoints sit in distant datacenters; the paper's
+        # orchestration often crossed continents.
+        base_delay += float(rng.uniform(0.020, 0.080))
+    if relayed:
+        base_delay += 0.060   # extra relay hop
+    score = score_call(trace, extra_one_way_delay_s=base_delay)
+    return NetTestCall(category=category, client_a=a, client_b=b,
+                       mos=score.mos)
+
+
+def render_nettest_block(block: int, count: int, seed: int,
+                         clients: ClientState, scale: float = 1.0,
+                         profile: StreamProfile = G711_PROFILE
+                         ) -> List[NetTestCall]:
+    """Render calls ``[block * NETTEST_BLOCK, ... + count)`` in order."""
+    router = nettest_block_router(seed, block)
+    calls: List[NetTestCall] = []
+    for local in range(count):
+        index = block * NETTEST_BLOCK + local
+        category = category_of_index(index, scale)
+        calls.append(simulate_call(
+            category, router.stream(f"call-{local}"), clients,
+            profile=profile))
+    return calls
+
+
 def run_nettest_study(seed: int = 0,
                       profile: StreamProfile = G711_PROFILE,
                       scale: float = 1.0) -> NetTestDataset:
-    """Simulate the full 9224-call study.
+    """Simulate the full 9224-call study (scalar reference path).
 
     ``scale`` < 1 shrinks every category proportionally (for quick tests).
     """
-    router = RandomRouter(seed)
-    rng = router.stream("nettest")
-    n = profile.n_packets
-    spacing = profile.inter_packet_spacing_s
-
-    client_quality = [_client_gilbert(rng) for _ in range(N_CLIENTS)]
-    #: base one-way delay per client to the nearest relay/peer region
-    client_base_delay = rng.uniform(0.020, 0.120, size=N_CLIENTS)
-
+    clients = client_state(seed)
+    total = schedule_size(scale)
     dataset = NetTestDataset()
-    for category, count in CATEGORY_COUNTS.items():
-        n_calls = max(int(round(count * scale)), 1)
-        relayed = "Relayed" in category
-        two_wifi = category.startswith("WW")
-        for _ in range(n_calls):
-            a = int(rng.integers(0, N_CLIENTS))
-            if two_wifi:
-                b = int(rng.integers(0, N_CLIENTS))
-            else:
-                b = -1
-
-            losses = sample_loss_array(client_quality[a], n, spacing, rng)
-            if two_wifi:
-                losses = np.maximum(
-                    losses,
-                    sample_loss_array(client_quality[b], n, spacing, rng))
-            jitter = _wan_jitter(rng, n, relayed)
-            delivered = losses < 0.5
-            delays = np.where(delivered, jitter, np.nan)
-            trace = LinkTrace(category,
-                              np.arange(n) * spacing, delivered, delays)
-
-            base_delay = float(client_base_delay[a])
-            if not two_wifi:
-                # Azure endpoints sit in distant datacenters; the paper's
-                # orchestration often crossed continents.
-                base_delay += float(rng.uniform(0.020, 0.080))
-            if relayed:
-                base_delay += 0.060   # extra relay hop
-            score = score_call(trace,
-                               extra_one_way_delay_s=base_delay)
-            dataset.calls.append(NetTestCall(
-                category=category, client_a=a, client_b=b,
-                mos=score.mos))
+    block = 0
+    while block * NETTEST_BLOCK < total:
+        count = min(NETTEST_BLOCK, total - block * NETTEST_BLOCK)
+        dataset.calls.extend(render_nettest_block(
+            block, count, seed, clients, scale=scale, profile=profile))
+        block += 1
     return dataset

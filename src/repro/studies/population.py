@@ -1,0 +1,677 @@
+"""Whole-population backends for the Section 3 studies (Tables 1 & 2).
+
+The scalar paths in :mod:`repro.studies.provider` and
+:mod:`repro.studies.nettest` are readable references: one Python object
+per call.  At the paper's scale — a *year* of provider ratings, 10^6+
+calls — that representation is the bottleneck, so this module is the
+scale path:
+
+* **Vectorized generation** — :func:`render_provider_block` replays a
+  provider call block as whole-array numpy draws from the *same* named
+  substreams as :func:`repro.studies.provider.synthesize_provider_block`.
+  Because a batched ``Generator`` draw consumes the bit stream exactly
+  like the equivalent sequence of scalar draws, and the arithmetic
+  mirrors the scalar expressions op for op (E-model, MOS cubic,
+  half-even rating rounding), the rendered calls are **bit-identical**
+  to the scalar loop (pinned by ``tests/test_population.py``).
+
+* **Runner sharding** — blocks are mapped through
+  :func:`repro.runner.map_configs` as module-level tasks
+  (:func:`provider_pass1_metrics`, :func:`provider_pass2_metrics`,
+  :func:`nettest_block_metrics`) with the block index as the cache-keyed
+  seed, so populations parallelize with ``--jobs`` and cache per block.
+  Every knob is an explicit config entry with a def-time default
+  (reproflow KEY501): nothing that changes a result escapes the key.
+
+* **Streaming aggregation** — tasks never return call lists.  Each block
+  reduces to :mod:`repro.analysis.sketch` payloads (exact labeled
+  counters, a fixed-grid MOS CDF, Welford moments) and the drivers fold
+  them **in spec order**, so serial, ``--jobs N`` and warm-cache
+  executions merge identically and the batch digest is byte-stable.
+  Memory is flat in the population size: per-block arrays plus counters
+  bounded by ``n_subnet_pairs`` / :data:`~repro.studies.nettest.N_CLIENTS`.
+
+Two-pass balanced-/24 protocol (Table 1 rows 2 and 4)
+-----------------------------------------------------
+
+The "/24s with #E>=#W" filter needs *global* per-pair EE/WW counts
+before any row membership is known, so the provider study runs two
+passes over the same blocks:
+
+1. :func:`provider_pass1_metrics` returns the All/PC counters plus
+   sparse per-pair EE/WW tallies (all calls and PC-only calls);
+2. the driver merges pass-1 payloads in spec order, computes the
+   balanced pair sets exactly like the scalar
+   ``provider._balanced_pairs`` (pairs with at least one EE rated call
+   and #EE >= #WW), and hands them to :func:`provider_pass2_metrics`
+   as sorted lists **inside the task config** — part of the cache key,
+   so a pass-2 result can never pair with the wrong filter.
+
+Observability: each task wraps its phases in ``population.render`` /
+``population.reduce`` spans on a :class:`repro.obs.SimulatedClock`
+(advanced by calls generated — never wall clock) and bumps
+``population.*`` counters, all merged through the runner's
+deterministic metrics path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.sketch import (
+    GridCdf,
+    LabeledCounts,
+    MomentSketch,
+    wilson_interval,
+)
+from repro.obs import SimulatedClock, Span, SpanTracker
+from repro.obs.runtime import active_registry
+from repro.runner import RunnerConfig, map_configs
+from repro.studies.nettest import (
+    CATEGORY_COUNTS,
+    NETTEST_BLOCK,
+    client_state,
+    render_nettest_block,
+    schedule_size,
+)
+from repro.studies.provider import (
+    CALL_BLOCK,
+    DEVICE_PENALTY_SCALE,
+    GLITCH_PENALTY_SCALE,
+    WIFI_LOSS_MEDIAN,
+    WIFI_LOSS_SIGMA,
+    PairState,
+    RatedCall,
+    Table1Row,
+    _CATEGORY_BY_WIFI_COUNT,
+    _PC_GIVEN_ETHERNET,
+    _relative_delta,
+    block_router,
+    n_call_blocks,
+    pair_state,
+)
+from repro.voice.quality import BPL_G711, IE_G711, R0
+
+__all__ = [
+    "MOS_GRID",
+    "NETTEST_TASK",
+    "NetTestPopulationTables",
+    "PASS1_TASK",
+    "PASS2_TASK",
+    "ProviderBlockArrays",
+    "ProviderPopulationTables",
+    "nettest_block_metrics",
+    "nettest_population_study",
+    "provider_block_calls",
+    "provider_pass1_metrics",
+    "provider_pass2_metrics",
+    "provider_population_study",
+    "render_provider_block",
+]
+
+#: runner entry points
+PASS1_TASK = "repro.studies.population:provider_pass1_metrics"
+PASS2_TASK = "repro.studies.population:provider_pass2_metrics"
+NETTEST_TASK = "repro.studies.population:nettest_block_metrics"
+
+#: the fixed grid every MOS sketch uses — merging requires identical
+#: grids, so there is exactly one (lo, hi, bins) for the whole repo.
+MOS_GRID = (0.0, 5.0, 100)
+
+_CATEGORIES = ("EE", "EW", "WW")
+
+
+# ---------------------------------------------------------------------------
+# vectorized provider rendering (bit-exact vs the scalar reference)
+
+@dataclass(frozen=True)
+class ProviderBlockArrays:
+    """One rendered provider call block, every call as array rows.
+
+    ``rated`` marks the calls the user actually rated; the other fields
+    cover *all* ``count`` calls so downstream cuts (rated or not) stay
+    possible without re-rendering.
+    """
+
+    pair: np.ndarray        # subnet pair per call
+    wifi_count: np.ndarray  # WiFi endpoints per call: 0=EE, 1=EW, 2=WW
+    pc_class: np.ndarray    # both endpoints PC-class?
+    mos: np.ndarray         # pre-noise MOS after device/glitch penalties
+    rating: np.ndarray      # 1..5 (what the user would rate)
+    rated: np.ndarray       # did the user rate the call?
+
+
+def _burst_ratio_array(loss: np.ndarray,
+                       mean_burst_len: np.ndarray) -> np.ndarray:
+    # Mirrors voice.quality.burst_ratio; mean_burst_len here is always
+    # >= 1.0 so the scalar <= 0 early-out never fires.
+    p = np.minimum(np.maximum(loss, 0.0), 0.99)
+    random_mean = 1.0 / (1.0 - p)
+    return np.maximum(mean_burst_len / random_mean, 1.0)
+
+
+def _delay_impairment_array(one_way_delay_s: np.ndarray) -> np.ndarray:
+    d_ms = np.maximum(one_way_delay_s, 0.0) * 1000.0
+    return np.where(d_ms < 100.0, d_ms * 0.024,
+                    0.024 * d_ms + 0.11 * (d_ms - 177.3) * (d_ms > 177.3))
+
+
+def _loss_impairment_array(loss: np.ndarray,
+                           burst_ratio: np.ndarray) -> np.ndarray:
+    ppl = np.maximum(loss, 0.0) * 100.0
+    burst_r = np.maximum(burst_ratio, 1.0)
+    return IE_G711 + (95.0 - IE_G711) * ppl / (ppl / burst_r + BPL_G711)
+
+
+def _emodel_r_array(loss: np.ndarray, one_way_delay_s: np.ndarray,
+                    mean_burst_len: np.ndarray) -> np.ndarray:
+    br = _burst_ratio_array(loss, mean_burst_len)
+    r = (R0 - _delay_impairment_array(one_way_delay_s)
+         - _loss_impairment_array(loss, br))
+    return np.clip(r, 0.0, 100.0)
+
+
+def _r_to_mos_array(r: np.ndarray) -> np.ndarray:
+    mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6
+    mos = np.minimum(np.maximum(mos, 1.0), 4.5)
+    return np.where(r <= 0, 1.0, np.where(r >= 100, 4.5, mos))
+
+
+def render_provider_block(block: int, count: int, seed: int,
+                          pairs: PairState,
+                          wifi_loss_median: float = WIFI_LOSS_MEDIAN,
+                          wifi_loss_sigma: float = WIFI_LOSS_SIGMA,
+                          device_penalty_scale: float =
+                          DEVICE_PENALTY_SCALE,
+                          glitch_penalty_scale: float =
+                          GLITCH_PENALTY_SCALE,
+                          response_bias: bool = True
+                          ) -> ProviderBlockArrays:
+    """Render one call block as arrays, bit-identical to the scalar loop.
+
+    Consumes exactly the draw layout documented on
+    :func:`repro.studies.provider.synthesize_provider_block`, one
+    whole-block array draw per named substream, and mirrors the scalar
+    arithmetic op for op (the E-model pipeline, the MOS cubic, the
+    half-even rating rounding), so every field equals the scalar path's
+    to the last bit.
+    """
+    router = block_router(seed, block)
+    n_subnet_pairs = len(pairs.archetype)
+    log_median = np.log(wifi_loss_median)
+
+    pair = router.stream("pair").integers(0, n_subnet_pairs, size=count)
+    wifi_u = router.stream("wifi").random(size=(count, 2))
+    pc_u = router.stream("pc").random(size=(count, 2))
+    access = router.stream("access-loss").lognormal(
+        log_median, wifi_loss_sigma, size=(count, 2))
+    delay_draw = router.stream("delay").exponential(0.040, size=count)
+    device = router.stream("device").exponential(
+        device_penalty_scale, size=count)
+    glitch = router.stream("glitch").exponential(
+        glitch_penalty_scale, size=count)
+    noise = router.stream("rating-noise").normal(0.0, 0.55, size=count)
+    respond_u = router.stream("respond").random(size=count)
+
+    archetype = pairs.archetype[pair]
+    on_wifi = wifi_u < pairs.p_wifi[archetype][:, None]
+    pc = pc_u < np.where(on_wifi, pairs.p_pc_wifi[archetype][:, None],
+                         _PC_GIVEN_ETHERNET)
+    wifi_count = on_wifi.sum(axis=1)
+    pc_class = pc[:, 0] & pc[:, 1]
+
+    # Adding 0.0 for an Ethernet endpoint is a bitwise no-op (loss > 0),
+    # so drawing unconditionally and applying conditionally preserves
+    # the scalar accumulation order: (base + access0) + access1.
+    loss = pairs.backhaul_loss[archetype] * pairs.backhaul[pair]
+    loss = loss + np.where(on_wifi[:, 0], access[:, 0], 0.0)
+    loss = loss + np.where(on_wifi[:, 1], access[:, 1], 0.0)
+    loss = np.minimum(loss, 0.6)
+    burst = 1.0 + 2.5 * np.minimum(loss * 10.0, 1.0)
+    delay = pairs.base_delay[archetype] + delay_draw
+
+    r = _emodel_r_array(loss, delay, burst)
+    mos = _r_to_mos_array(r)
+    mos = mos - np.where(pc_class, 0.0, device)
+    mos = mos - glitch
+    rating = np.clip(np.round(mos + noise), 1.0, 5.0).astype(np.int64)
+
+    if response_bias:
+        p_respond = np.where(rating > 2, 0.10, 0.16)
+    else:
+        p_respond = np.full(count, 0.12)
+    rated = respond_u < p_respond
+    return ProviderBlockArrays(pair=pair, wifi_count=wifi_count,
+                               pc_class=pc_class, mos=mos,
+                               rating=rating, rated=rated)
+
+
+def provider_block_calls(arrays: ProviderBlockArrays) -> List[RatedCall]:
+    """The block's rated calls as scalar objects (parity tests and any
+    caller that wants the reference representation back)."""
+    return [RatedCall(
+        subnet_pair=int(arrays.pair[i]),
+        category=_CATEGORY_BY_WIFI_COUNT[int(arrays.wifi_count[i])],
+        pc_class=bool(arrays.pc_class[i]),
+        rating=int(arrays.rating[i]))
+        for i in np.nonzero(arrays.rated)[0]]
+
+
+# ---------------------------------------------------------------------------
+# per-block reduction helpers
+
+def _observe_subset(table: LabeledCounts, subset: str, mask: np.ndarray,
+                    cat: np.ndarray, poor: np.ndarray) -> None:
+    """Fold one subset's per-category counters into ``table``."""
+    table.observe((subset, "all"), int(mask.sum()),
+                  int((mask & poor).sum()))
+    for code, name in enumerate(_CATEGORIES):
+        in_cat = mask & (cat == code)
+        table.observe((subset, name), int(in_cat.sum()),
+                      int((in_cat & poor).sum()))
+
+
+def _pair_rows(pair: np.ndarray, cat: np.ndarray, mask: np.ndarray,
+               n_subnet_pairs: int) -> List[List[int]]:
+    """Sparse ``[pair, #EE, #WW]`` rows over the masked rated calls."""
+    ee = np.bincount(pair[mask & (cat == 0)], minlength=n_subnet_pairs)
+    ww = np.bincount(pair[mask & (cat == 2)], minlength=n_subnet_pairs)
+    hot = np.nonzero((ee > 0) | (ww > 0))[0]
+    return [[int(p), int(ee[p]), int(ww[p])] for p in hot]
+
+
+def _merge_pair_rows(ee: Dict[int, int], ww: Dict[int, int],
+                     rows: Sequence[Sequence[int]]) -> None:
+    for pair, n_ee, n_ww in rows:
+        if n_ee:
+            ee[int(pair)] = ee.get(int(pair), 0) + int(n_ee)
+        if n_ww:
+            ww[int(pair)] = ww.get(int(pair), 0) + int(n_ww)
+
+
+def _balanced_from_counts(ee: Dict[int, int],
+                          ww: Dict[int, int]) -> List[int]:
+    """Exactly ``provider._balanced_pairs`` on merged counters: pairs
+    with at least one EE rated call (an ``ee`` key) and #EE >= #WW."""
+    return sorted(pair for pair, n_ee in ee.items()
+                  if n_ee >= ww.get(pair, 0))
+
+
+def _tracker(registry: Any) -> Tuple[SimulatedClock,
+                                     Optional[SpanTracker]]:
+    clock = SimulatedClock()
+    if registry is None:
+        return clock, None
+    return clock, SpanTracker(clock, registry=registry,
+                              source="population")
+
+
+def _phase_span(tracker: Optional[SpanTracker], name: str,
+                block: int) -> Optional[Span]:
+    return tracker.span(name, block=block) if tracker is not None \
+        else None
+
+
+# ---------------------------------------------------------------------------
+# provider runner tasks
+
+def provider_pass1_metrics(block: int, *, count: int, root_seed: int,
+                           n_subnet_pairs: int = 3000,
+                           wifi_loss_median: float = WIFI_LOSS_MEDIAN,
+                           wifi_loss_sigma: float = WIFI_LOSS_SIGMA,
+                           device_penalty_scale: float =
+                           DEVICE_PENALTY_SCALE,
+                           glitch_penalty_scale: float =
+                           GLITCH_PENALTY_SCALE,
+                           response_bias: bool = True) -> Dict[str, Any]:
+    """Pass 1 over one provider block: All/PC counters + pair tallies.
+
+    The payload is pure sketches — counter rows, sparse per-pair EE/WW
+    tallies (bounded by ``n_subnet_pairs``), and the MOS CDF/moment
+    sketches of the block's rated calls.  No call list ever leaves the
+    task, which is what keeps million-call populations flat in memory.
+    """
+    pairs = pair_state(root_seed, n_subnet_pairs)
+    registry = active_registry()
+    clock, tracker = _tracker(registry)
+
+    span = _phase_span(tracker, "population.render", block)
+    arrays = render_provider_block(
+        block, count, root_seed, pairs,
+        wifi_loss_median=wifi_loss_median,
+        wifi_loss_sigma=wifi_loss_sigma,
+        device_penalty_scale=device_penalty_scale,
+        glitch_penalty_scale=glitch_penalty_scale,
+        response_bias=response_bias)
+    clock.advance(float(count))
+    if span is not None:
+        span.end()
+
+    span = _phase_span(tracker, "population.reduce", block)
+    rated = arrays.rated
+    cat = arrays.wifi_count[rated]
+    poor = arrays.rating[rated] <= 2
+    pair = arrays.pair[rated]
+    pc = arrays.pc_class[rated]
+    everything = np.ones(cat.shape, dtype=bool)
+
+    table = LabeledCounts()
+    _observe_subset(table, "all", everything, cat, poor)
+    _observe_subset(table, "pc", pc, cat, poor)
+    cdf = GridCdf(*MOS_GRID)
+    cdf.observe_array(arrays.mos[rated])
+    moments = MomentSketch()
+    moments.observe_array(arrays.mos[rated])
+    payload = {
+        "table": table.to_payload(),
+        "pairs": _pair_rows(pair, cat, everything, n_subnet_pairs),
+        "pc_pairs": _pair_rows(pair, cat, pc, n_subnet_pairs),
+        "mos_cdf": cdf.to_payload(),
+        "mos_moments": moments.to_payload(),
+    }
+    clock.advance(float(count))
+    if span is not None:
+        span.end()
+    if registry is not None:
+        registry.counter("population.calls").inc(count)
+        registry.counter("population.rated_calls").inc(int(rated.sum()))
+    return payload
+
+
+def provider_pass2_metrics(block: int, *, count: int, root_seed: int,
+                           balanced: Sequence[int],
+                           pc_balanced: Sequence[int],
+                           n_subnet_pairs: int = 3000,
+                           wifi_loss_median: float = WIFI_LOSS_MEDIAN,
+                           wifi_loss_sigma: float = WIFI_LOSS_SIGMA,
+                           device_penalty_scale: float =
+                           DEVICE_PENALTY_SCALE,
+                           glitch_penalty_scale: float =
+                           GLITCH_PENALTY_SCALE,
+                           response_bias: bool = True
+                           ) -> List[List[Any]]:
+    """Pass 2: the balanced-/24 rows, re-rendered under the filter.
+
+    ``balanced`` / ``pc_balanced`` are the driver-computed pair sets
+    (sorted lists).  They arrive through the task config on purpose:
+    they are inputs that change the result, so they must be part of the
+    content address — a cached pass-2 payload can never be replayed
+    against a different filter.
+    """
+    pairs = pair_state(root_seed, n_subnet_pairs)
+    registry = active_registry()
+    clock, tracker = _tracker(registry)
+
+    span = _phase_span(tracker, "population.render", block)
+    arrays = render_provider_block(
+        block, count, root_seed, pairs,
+        wifi_loss_median=wifi_loss_median,
+        wifi_loss_sigma=wifi_loss_sigma,
+        device_penalty_scale=device_penalty_scale,
+        glitch_penalty_scale=glitch_penalty_scale,
+        response_bias=response_bias)
+    clock.advance(float(count))
+    if span is not None:
+        span.end()
+
+    span = _phase_span(tracker, "population.reduce", block)
+    rated = arrays.rated
+    cat = arrays.wifi_count[rated]
+    poor = arrays.rating[rated] <= 2
+    pair = arrays.pair[rated]
+    pc = arrays.pc_class[rated]
+    in_balanced = np.isin(pair, np.asarray(list(balanced),
+                                           dtype=np.int64))
+    in_pc_balanced = pc & np.isin(pair, np.asarray(list(pc_balanced),
+                                                   dtype=np.int64))
+    table = LabeledCounts()
+    _observe_subset(table, "balanced", in_balanced, cat, poor)
+    _observe_subset(table, "pc_balanced", in_pc_balanced, cat, poor)
+    clock.advance(float(count))
+    if span is not None:
+        span.end()
+    if registry is not None:
+        registry.counter("population.calls").inc(count)
+    return table.to_payload()
+
+
+# ---------------------------------------------------------------------------
+# provider driver
+
+@dataclass
+class ProviderPopulationTables:
+    """Merged Table 1 statistics for a whole provider population."""
+
+    rows: List[Table1Row]
+    overall_pcr: float
+    pcr_wilson: Tuple[float, float]
+    n_rated_calls: int
+    n_calls: int
+    n_balanced_pairs: int
+    n_pc_balanced_pairs: int
+    mos_cdf: GridCdf
+    mos_moments: MomentSketch
+
+
+def _provider_items(n_calls: int, base: Dict[str, Any]
+                    ) -> List[Tuple[int, Dict[str, Any]]]:
+    return [(block, dict(base, count=min(CALL_BLOCK,
+                                         n_calls - block * CALL_BLOCK)))
+            for block in range(n_call_blocks(n_calls))]
+
+
+def provider_population_study(n_calls: int = 1_000_000, seed: int = 0,
+                              n_subnet_pairs: int = 3000,
+                              wifi_loss_median: float = WIFI_LOSS_MEDIAN,
+                              wifi_loss_sigma: float = WIFI_LOSS_SIGMA,
+                              device_penalty_scale: float =
+                              DEVICE_PENALTY_SCALE,
+                              glitch_penalty_scale: float =
+                              GLITCH_PENALTY_SCALE,
+                              response_bias: bool = True,
+                              runner_config: Optional[RunnerConfig] =
+                              None) -> ProviderPopulationTables:
+    """Run the whole-population provider study (Table 1 at scale).
+
+    Shards the population into :data:`~repro.studies.provider.CALL_BLOCK`
+    blocks, maps the two passes through the runner, and folds the sketch
+    payloads in spec order.  For any ``n_calls`` the resulting rows are
+    exactly equal to ``analyze_table1(synthesize_provider_year(...))`` —
+    the counters are exact, and every division happens in the same order
+    on the same integers.
+    """
+    base: Dict[str, Any] = {
+        "root_seed": seed,
+        "n_subnet_pairs": n_subnet_pairs,
+        "wifi_loss_median": wifi_loss_median,
+        "wifi_loss_sigma": wifi_loss_sigma,
+        "device_penalty_scale": device_penalty_scale,
+        "glitch_penalty_scale": glitch_penalty_scale,
+        "response_bias": response_bias,
+    }
+    items = _provider_items(n_calls, base)
+
+    table = LabeledCounts()
+    cdf = GridCdf(*MOS_GRID)
+    moments = MomentSketch()
+    pair_ee: Dict[int, int] = {}
+    pair_ww: Dict[int, int] = {}
+    pc_ee: Dict[int, int] = {}
+    pc_ww: Dict[int, int] = {}
+    # map_configs returns payloads in spec order — the merge contract.
+    for payload in map_configs(PASS1_TASK, items, config=runner_config):
+        table.merge(LabeledCounts.from_payload(payload["table"]))
+        cdf.merge(GridCdf.from_payload(payload["mos_cdf"]))
+        moments.merge(MomentSketch.from_payload(payload["mos_moments"]))
+        _merge_pair_rows(pair_ee, pair_ww, payload["pairs"])
+        _merge_pair_rows(pc_ee, pc_ww, payload["pc_pairs"])
+
+    balanced = _balanced_from_counts(pair_ee, pair_ww)
+    pc_balanced = _balanced_from_counts(pc_ee, pc_ww)
+    items2 = [(block, dict(config, balanced=balanced,
+                           pc_balanced=pc_balanced))
+              for block, config in items]
+    for payload in map_configs(PASS2_TASK, items2, config=runner_config):
+        table.merge(LabeledCounts.from_payload(payload))
+
+    pcr_all = table.pcr(("all", "all"))
+
+    def subset_row(label: str, subset: str) -> Table1Row:
+        return Table1Row(
+            label=label,
+            delta_ee_pct=_relative_delta(pcr_all,
+                                         table.pcr((subset, "EE"))),
+            delta_ew_pct=_relative_delta(pcr_all,
+                                         table.pcr((subset, "EW"))),
+            delta_ww_pct=_relative_delta(pcr_all,
+                                         table.pcr((subset, "WW"))),
+            n_calls=table.n((subset, "all")))
+
+    rows = [
+        subset_row("All", "all"),
+        subset_row("/24s with #E>=#W", "balanced"),
+        subset_row("PC", "pc"),
+        subset_row("PC, /24s with #E>=#W", "pc_balanced"),
+    ]
+    return ProviderPopulationTables(
+        rows=rows, overall_pcr=pcr_all,
+        pcr_wilson=table.wilson(("all", "all")),
+        n_rated_calls=table.n(("all", "all")), n_calls=n_calls,
+        n_balanced_pairs=len(balanced),
+        n_pc_balanced_pairs=len(pc_balanced),
+        mos_cdf=cdf, mos_moments=moments)
+
+
+# ---------------------------------------------------------------------------
+# NetTest runner task + driver
+
+def nettest_block_metrics(block: int, *, count: int, root_seed: int,
+                          scale: float = 1.0) -> Dict[str, Any]:
+    """One NetTest call block reduced to sketches.
+
+    The per-call trace simulation is data-dependent (Gilbert chains,
+    busy spells), so rendering stays scalar — the population win here is
+    runner sharding (parallel blocks, per-block caching) plus streaming
+    aggregation instead of shipping 9224 scored calls per seed.
+    """
+    clients = client_state(root_seed)
+    registry = active_registry()
+    clock, tracker = _tracker(registry)
+
+    span = _phase_span(tracker, "population.render", block)
+    calls = render_nettest_block(block, count, root_seed, clients,
+                                 scale=scale)
+    clock.advance(float(count))
+    if span is not None:
+        span.end()
+
+    span = _phase_span(tracker, "population.reduce", block)
+    table = LabeledCounts()
+    users: Dict[int, Tuple[int, int]] = {}
+    n_poor = 0
+    for call in calls:
+        poor = int(call.poor)
+        n_poor += poor
+        table.observe((call.category,), 1, poor)
+        # Endpoint *slots*, not distinct users: a WW call that drew the
+        # same client twice counts it twice, matching the scalar
+        # NetTestDataset.per_user_pcr exactly.
+        for user in (call.client_a, call.client_b):
+            if user >= 0:
+                slots, poors = users.get(user, (0, 0))
+                users[user] = (slots + 1, poors + poor)
+    cdf = GridCdf(*MOS_GRID)
+    cdf.observe_array(np.array([call.mos for call in calls]))
+    moments = MomentSketch()
+    moments.observe_array(np.array([call.mos for call in calls]))
+    payload = {
+        "table": table.to_payload(),
+        "users": [[int(user), slots, poors]
+                  for user, (slots, poors) in sorted(users.items())],
+        "mos_cdf": cdf.to_payload(),
+        "mos_moments": moments.to_payload(),
+    }
+    clock.advance(float(count))
+    if span is not None:
+        span.end()
+    if registry is not None:
+        registry.counter("population.calls").inc(count)
+        registry.counter("population.poor_calls").inc(n_poor)
+    return payload
+
+
+@dataclass
+class NetTestPopulationTables:
+    """Merged Table 2 statistics for a whole NetTest population."""
+
+    rows: List[Tuple[str, int, float]]
+    overall_pcr: float
+    pcr_wilson: Tuple[float, float]
+    n_calls: int
+    frac_users_any_poor: float
+    frac_users_pcr20: float
+    mos_cdf: GridCdf
+    mos_moments: MomentSketch
+
+
+def nettest_population_study(seed: int = 0, scale: float = 1.0,
+                             runner_config: Optional[RunnerConfig] = None
+                             ) -> NetTestPopulationTables:
+    """Run the NetTest study sharded over runner blocks.
+
+    Table 2 rows and the spatial stats are exactly equal to the scalar
+    ``run_nettest_study`` path for any ``scale``: the counters are
+    exact and the divisions identical.
+    """
+    total = schedule_size(scale)
+    items = [(block, {"root_seed": seed, "scale": scale,
+                      "count": min(NETTEST_BLOCK,
+                                   total - block * NETTEST_BLOCK)})
+             for block in range((total + NETTEST_BLOCK - 1)
+                                // NETTEST_BLOCK)]
+
+    table = LabeledCounts()
+    cdf = GridCdf(*MOS_GRID)
+    moments = MomentSketch()
+    users: Dict[int, Tuple[int, int]] = {}
+    for payload in map_configs(NETTEST_TASK, items,
+                               config=runner_config):
+        table.merge(LabeledCounts.from_payload(payload["table"]))
+        cdf.merge(GridCdf.from_payload(payload["mos_cdf"]))
+        moments.merge(MomentSketch.from_payload(payload["mos_moments"]))
+        for user, slots, poors in payload["users"]:
+            old_slots, old_poors = users.get(int(user), (0, 0))
+            users[int(user)] = (old_slots + int(slots),
+                                old_poors + int(poors))
+
+    rows: List[Tuple[str, int, float]] = []
+    n_total = 0
+    n_poor_total = 0
+    for category in CATEGORY_COUNTS:
+        n = table.n((category,))
+        n_total += n
+        n_poor_total += table.poor((category,))
+        rows.append((category, n, 100.0 * table.pcr((category,))))
+    overall = n_poor_total / n_total if n_total else float("nan")
+    rows.append(("Total", n_total, 100.0 * overall))
+
+    pcr_values = [poors / slots for _, (slots, poors)
+                  in sorted(users.items())]
+    if pcr_values:
+        frac_any = sum(1 for v in pcr_values if v > 0.0) \
+            / len(pcr_values)
+        frac_20 = sum(1 for v in pcr_values if v >= 0.20) \
+            / len(pcr_values)
+    else:
+        frac_any = float("nan")
+        frac_20 = float("nan")
+
+    return NetTestPopulationTables(
+        rows=rows, overall_pcr=overall,
+        pcr_wilson=wilson_interval(n_poor_total, n_total),
+        n_calls=n_total,
+        frac_users_any_poor=frac_any, frac_users_pcr20=frac_20,
+        mos_cdf=cdf, mos_moments=moments)

@@ -23,17 +23,46 @@ offers for the confounds:
 The analysis machinery is then exactly the paper's, so Table 1's structure
 (everything improves under each control, but a large EE-vs-WW gap remains)
 is a *finding* of the synthetic study, not something hard-coded.
+
+Block protocol
+--------------
+
+Call randomness is organized for population scale: the year is a
+sequence of fixed-size **call blocks** of :data:`CALL_BLOCK` calls.
+Block ``b`` owns the private router ``RandomRouter(seed).fork(
+f"provider-block-{b}")`` and draws every per-call quantity from a
+*named per-field substream* (``"pair"``, ``"wifi"``, ``"pc"``, ...)
+with a **fixed draw count per call** — conditional quantities (the
+per-endpoint WiFi access loss, the non-PC device penalty) are drawn
+unconditionally and applied conditionally.  Two consequences:
+
+* the vectorized backend (:mod:`repro.studies.population`) renders a
+  block as numpy arrays from the *same* substreams and — because a
+  batched ``Generator`` draw consumes the bit stream exactly like the
+  equivalent sequence of scalar draws — produces **bit-identical**
+  calls to this scalar loop;
+* a truncated final block is a prefix of the full block, so the first
+  ``n`` calls of a population are a prefix of any larger population
+  with the same seed.
+
+This scalar path remains the readable reference; the population backend
+is the scale path, and ``tests/test_population.py`` pins their exact
+equality.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
 from repro.sim.random import RandomRouter
 from repro.voice.quality import emodel_r_factor, r_to_mos
+
+#: calls per protocol block — the unit of randomness derivation (and the
+#: unit the population backend renders, shards and caches).
+CALL_BLOCK = 16_384
 
 
 @dataclass
@@ -55,14 +84,22 @@ class ProviderDataset:
 
     calls: List[RatedCall] = field(default_factory=list)
 
-    def pcr(self, calls: Optional[Sequence[RatedCall]] = None) -> float:
-        if calls is None:
-            subset: Sequence[RatedCall] = self.calls
-        else:
-            subset = list(calls)
-        if not subset:
+    def pcr(self, calls: Optional[Iterable[RatedCall]] = None) -> float:
+        """Poor-call rate over ``calls`` (default: the whole dataset).
+
+        Single pass, so any iterable — including a generator — works
+        without materializing a copy.
+        """
+        source: Iterable[RatedCall] = self.calls if calls is None \
+            else calls
+        n = 0
+        poor = 0
+        for call in source:
+            n += 1
+            poor += call.poor
+        if n == 0:
             return float("nan")
-        return float(np.mean([c.poor for c in subset]))
+        return poor / n
 
 
 @dataclass
@@ -103,6 +140,149 @@ DEVICE_PENALTY_SCALE = 0.07   # mean MOS penalty of non-PC hardware
 GLITCH_PENALTY_SCALE = 0.65   # mean MOS penalty of non-network glitches
 
 
+@dataclass(frozen=True)
+class PairState:
+    """Per-subnet-pair state shared by every call block.
+
+    Drawn once per population from the root router's
+    ``"provider.pairs"`` stream (never from a block router), so every
+    block — rendered scalar or vectorized, in any process — sees the
+    same pairs.
+    """
+
+    archetype: np.ndarray      # archetype index per pair
+    backhaul: np.ndarray       # per-pair backhaul multiplier
+    base_delay: np.ndarray     # per-archetype mean extra one-way delay s
+    backhaul_loss: np.ndarray  # per-archetype backhaul loss scale
+    p_wifi: np.ndarray         # per-archetype P(endpoint on WiFi)
+    p_pc_wifi: np.ndarray      # per-archetype P(PC-class | WiFi)
+
+
+def pair_state(seed: int, n_subnet_pairs: int) -> PairState:
+    """Draw the population's subnet-pair state (both backends call this)."""
+    stream = RandomRouter(seed).stream("provider.pairs")
+    names = list(_ARCHETYPES)
+    shares = np.array([_ARCHETYPES[n][0] for n in names])
+    archetype = stream.choice(len(names), size=n_subnet_pairs,
+                              p=shares / shares.sum())
+    # Per-pair backhaul multiplier: some pairs are just bad.
+    backhaul = stream.lognormal(mean=0.0, sigma=0.6, size=n_subnet_pairs)
+    return PairState(
+        archetype=archetype, backhaul=backhaul,
+        base_delay=np.array([_ARCHETYPES[n][1] for n in names]),
+        backhaul_loss=np.array([_ARCHETYPES[n][2] for n in names]),
+        p_wifi=np.array([_ARCHETYPES[n][3] for n in names]),
+        p_pc_wifi=np.array([_ARCHETYPES[n][4] for n in names]))
+
+
+def block_router(seed: int, block: int) -> RandomRouter:
+    """The private router of call block ``block``."""
+    return RandomRouter(seed).fork(f"provider-block-{block}")
+
+
+def n_call_blocks(n_calls: int) -> int:
+    """Number of protocol blocks covering an ``n_calls`` population."""
+    if n_calls < 0:
+        raise ValueError("n_calls must be >= 0")
+    return (n_calls + CALL_BLOCK - 1) // CALL_BLOCK
+
+
+_CATEGORY_BY_WIFI_COUNT = {0: "EE", 1: "EW", 2: "WW"}
+
+
+def synthesize_provider_block(block: int, count: int, seed: int,
+                              pairs: PairState,
+                              wifi_loss_median: float = WIFI_LOSS_MEDIAN,
+                              wifi_loss_sigma: float = WIFI_LOSS_SIGMA,
+                              device_penalty_scale: float =
+                              DEVICE_PENALTY_SCALE,
+                              glitch_penalty_scale: float =
+                              GLITCH_PENALTY_SCALE,
+                              response_bias: bool = True
+                              ) -> List[RatedCall]:
+    """Scalar reference rendering of one call block's *rated* calls.
+
+    Draw layout (one call consumes, in order, from each named
+    substream): ``pair`` 1 bounded integer; ``wifi`` and ``pc`` 2
+    uniforms each; ``access-loss`` 2 lognormals (drawn for both
+    endpoints, applied only to WiFi ones); ``delay`` 1 exponential;
+    ``device`` 1 exponential (applied only to non-PC calls);
+    ``glitch`` 1 exponential; ``rating-noise`` 1 normal; ``respond`` 1
+    uniform.  The fixed per-call draw count is what lets
+    :func:`repro.studies.population.render_provider_block` replay the
+    block as whole-array draws, bit for bit.
+    """
+    router = block_router(seed, block)
+    s_pair = router.stream("pair")
+    s_wifi = router.stream("wifi")
+    s_pc = router.stream("pc")
+    s_access = router.stream("access-loss")
+    s_delay = router.stream("delay")
+    s_device = router.stream("device")
+    s_glitch = router.stream("glitch")
+    s_noise = router.stream("rating-noise")
+    s_respond = router.stream("respond")
+
+    n_subnet_pairs = len(pairs.archetype)
+    log_median = np.log(wifi_loss_median)
+    rated: List[RatedCall] = []
+    for _ in range(count):
+        pair = int(s_pair.integers(0, n_subnet_pairs))
+        archetype = int(pairs.archetype[pair])
+        p_wifi = float(pairs.p_wifi[archetype])
+        p_pc_wifi = float(pairs.p_pc_wifi[archetype])
+
+        endpoints = []
+        for _endpoint in range(2):
+            on_wifi = s_wifi.random() < p_wifi
+            pc = s_pc.random() < (p_pc_wifi if on_wifi
+                                  else _PC_GIVEN_ETHERNET)
+            access = float(s_access.lognormal(log_median,
+                                              wifi_loss_sigma))
+            endpoints.append((on_wifi, pc, access))
+        n_wifi = sum(1 for w, _, _ in endpoints if w)
+        category = _CATEGORY_BY_WIFI_COUNT[n_wifi]
+        pc_class = all(pc for _, pc, _ in endpoints)
+
+        # Network impairments: backhaul + per-WiFi-endpoint access loss.
+        loss = float(pairs.backhaul_loss[archetype]
+                     * pairs.backhaul[pair])
+        for on_wifi, _, access in endpoints:
+            if on_wifi:
+                loss += access
+        loss = min(loss, 0.6)
+        burst = 1.0 + 2.5 * min(loss * 10.0, 1.0)  # WiFi loss is bursty
+        delay = float(pairs.base_delay[archetype]) \
+            + float(s_delay.exponential(0.040))
+
+        r = emodel_r_factor(loss, delay, mean_burst_len=burst)
+        mos = r_to_mos(r)
+        # Cheap hardware degrades what the user *hears*, not the network.
+        device = float(s_device.exponential(device_penalty_scale))
+        if not pc_class:
+            mos -= device
+        # Non-network glitches everyone suffers regardless of access type:
+        # echo, background noise, far-end problems, app hiccups.  Without
+        # this floor the synthetic EE population would be implausibly
+        # perfect and every relative delta would saturate.
+        mos -= float(s_glitch.exponential(glitch_penalty_scale))
+        rating = int(np.clip(round(mos + s_noise.normal(0.0, 0.55)),
+                             1, 5))
+
+        # Response bias: the annoyed rate more readily (disable via
+        # ``response_bias=False`` for the robustness ablation).
+        if response_bias:
+            p_respond = 0.10 if rating > 2 else 0.16
+        else:
+            p_respond = 0.12
+        if s_respond.random() >= p_respond:
+            continue
+        rated.append(RatedCall(
+            subnet_pair=pair, category=category,
+            pc_class=pc_class, rating=rating))
+    return rated
+
+
 def synthesize_provider_year(n_calls: int = 200_000, seed: int = 0,
                              n_subnet_pairs: int = 3000,
                              wifi_loss_median: float = WIFI_LOSS_MEDIAN,
@@ -113,68 +293,18 @@ def synthesize_provider_year(n_calls: int = 200_000, seed: int = 0,
                              GLITCH_PENALTY_SCALE,
                              response_bias: bool = True
                              ) -> ProviderDataset:
-    """Generate the synthetic year of rated calls."""
-    router = RandomRouter(seed)
-    rng = router.stream("provider")
-
-    names = list(_ARCHETYPES)
-    shares = np.array([_ARCHETYPES[n][0] for n in names])
-    pair_archetype = rng.choice(len(names), size=n_subnet_pairs,
-                                p=shares / shares.sum())
-    # Per-pair backhaul multiplier: some pairs are just bad.
-    pair_backhaul = rng.lognormal(mean=0.0, sigma=0.6,
-                                  size=n_subnet_pairs)
-
+    """Generate the synthetic year of rated calls (scalar reference)."""
+    pairs = pair_state(seed, n_subnet_pairs)
     dataset = ProviderDataset()
-    pair_ids = rng.integers(0, n_subnet_pairs, size=n_calls)
-    for i in range(n_calls):
-        pair = int(pair_ids[i])
-        name = names[int(pair_archetype[pair])]
-        _, base_delay, backhaul_loss, p_wifi, p_pc_wifi = _ARCHETYPES[name]
-
-        endpoints = []
-        for _ in range(2):
-            on_wifi = rng.random() < p_wifi
-            pc = rng.random() < (p_pc_wifi if on_wifi
-                                 else _PC_GIVEN_ETHERNET)
-            endpoints.append((on_wifi, pc))
-        n_wifi = sum(1 for w, _ in endpoints if w)
-        category = {0: "EE", 1: "EW", 2: "WW"}[n_wifi]
-        pc_class = all(pc for _, pc in endpoints)
-
-        # Network impairments: backhaul + per-WiFi-endpoint access loss.
-        loss = backhaul_loss * float(pair_backhaul[pair])
-        for on_wifi, _ in endpoints:
-            if on_wifi:
-                loss += float(rng.lognormal(np.log(wifi_loss_median),
-                                            wifi_loss_sigma))
-        loss = min(loss, 0.6)
-        burst = 1.0 + 2.5 * min(loss * 10.0, 1.0)  # WiFi loss is bursty
-        delay = base_delay + float(rng.exponential(0.040))
-
-        r = emodel_r_factor(loss, delay, mean_burst_len=burst)
-        mos = r_to_mos(r)
-        # Cheap hardware degrades what the user *hears*, not the network.
-        if not pc_class:
-            mos -= float(rng.exponential(device_penalty_scale))
-        # Non-network glitches everyone suffers regardless of access type:
-        # echo, background noise, far-end problems, app hiccups.  Without
-        # this floor the synthetic EE population would be implausibly
-        # perfect and every relative delta would saturate.
-        mos -= float(rng.exponential(glitch_penalty_scale))
-        rating = int(np.clip(round(mos + rng.normal(0.0, 0.55)), 1, 5))
-
-        # Response bias: the annoyed rate more readily (disable via
-        # ``response_bias=False`` for the robustness ablation).
-        if response_bias:
-            p_respond = 0.10 if rating > 2 else 0.16
-        else:
-            p_respond = 0.12
-        if rng.random() >= p_respond:
-            continue
-        dataset.calls.append(RatedCall(
-            subnet_pair=pair, category=category,
-            pc_class=pc_class, rating=rating))
+    for block in range(n_call_blocks(n_calls)):
+        count = min(CALL_BLOCK, n_calls - block * CALL_BLOCK)
+        dataset.calls.extend(synthesize_provider_block(
+            block, count, seed, pairs,
+            wifi_loss_median=wifi_loss_median,
+            wifi_loss_sigma=wifi_loss_sigma,
+            device_penalty_scale=device_penalty_scale,
+            glitch_penalty_scale=glitch_penalty_scale,
+            response_bias=response_bias))
     return dataset
 
 
@@ -186,7 +316,7 @@ def _relative_delta(pcr_all: float, pcr_subset: float) -> float:
     return (pcr_all - pcr_subset) / pcr_all * 100.0
 
 
-def _balanced_pairs(calls: Sequence[RatedCall]) -> set:
+def _balanced_pairs(calls: Iterable[RatedCall]) -> Set[int]:
     """Subnet pairs with at least as many EE as WW rated calls."""
     ee: Dict[int, int] = {}
     ww: Dict[int, int] = {}
@@ -199,7 +329,7 @@ def _balanced_pairs(calls: Sequence[RatedCall]) -> set:
             if n_ee >= ww.get(pair, 0)}
 
 
-def _row(label: str, calls: Sequence[RatedCall],
+def _row(label: str, calls: List[RatedCall],
          pcr_all: float) -> Table1Row:
     def pcr_of(category: str) -> float:
         subset = [c for c in calls if c.category == category]

@@ -96,7 +96,7 @@ def _scan_venue(venue: VenueClass, rng: np.random.Generator,
         channel_24 = int(rng.choice(_CHANNELS_24))
         rssi = float(rng.uniform(-80.0, -45.0))
 
-        def add(channel, band):
+        def add(channel: int, band: str) -> None:
             nonlocal bssid_counter
             bssid_counter += 1
             entries.append(BssEntry(
@@ -118,7 +118,7 @@ def run_site_survey(seed: int = 0,
                     ) -> List[Tuple[SurveyLocation, ScanResult]]:
     """Scan every survey location (Figure 1's bars and dashes)."""
     router = RandomRouter(seed)
-    results = []
+    results: List[Tuple[SurveyLocation, ScanResult]] = []
     for i, location in enumerate(locations):
         rng = router.stream(f"scan.{i}.{location.label}")
         venue = VENUE_CLASSES[location.venue_class]

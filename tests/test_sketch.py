@@ -1,0 +1,197 @@
+"""Tests for the mergeable streaming aggregators (repro.analysis.sketch)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.sketch import (
+    GridCdf,
+    LabeledCounts,
+    MomentSketch,
+    SketchError,
+    wilson_interval,
+)
+from repro.sim import RandomRouter
+
+# ------------------------------------------------------------ LabeledCounts
+
+
+def _counts(rows):
+    out = LabeledCounts()
+    for label, n, poor in rows:
+        out.observe(label, n, poor)
+    return out
+
+
+def test_labeled_counts_observe_and_pcr():
+    c = _counts([(("all", "EE"), 10, 2), (("all", "EE"), 5, 1)])
+    assert c.n(("all", "EE")) == 15
+    assert c.poor(("all", "EE")) == 3
+    assert c.pcr(("all", "EE")) == 3 / 15
+    assert np.isnan(c.pcr(("missing",)))
+
+
+def test_labeled_counts_rejects_invalid():
+    c = LabeledCounts()
+    with pytest.raises(SketchError):
+        c.observe(("x",), 3, 4)      # poor > n
+    with pytest.raises(SketchError):
+        c.observe(("x",), -1, 0)
+
+
+def test_labeled_counts_merge_assoc_commutative():
+    """Counter merges are exact integer adds: any association or order
+    of the same multiset of sketches yields identical counts."""
+    a = _counts([(("s", "EE"), 4, 1)])
+    b = _counts([(("s", "EE"), 6, 2), (("s", "WW"), 3, 3)])
+    c = _counts([(("t", "EW"), 7, 0)])
+
+    left = _counts([]).merge(a).merge(b).merge(c)
+    right = _counts([]).merge(c).merge(_counts([]).merge(b).merge(a))
+    assert left.counts == right.counts
+
+
+def test_labeled_counts_payload_roundtrip_byte_stable():
+    c = _counts([(("b", "EW"), 5, 2), (("a", "EE"), 9, 1)])
+    payload = c.to_payload()
+    again = LabeledCounts.from_payload(payload)
+    assert json.dumps(payload, sort_keys=True) == \
+        json.dumps(again.to_payload(), sort_keys=True)
+    assert again.counts == c.counts
+
+
+def test_labeled_counts_malformed_payload():
+    with pytest.raises(SketchError):
+        LabeledCounts.from_payload([["only-label"]])
+
+
+# ----------------------------------------------------------------- GridCdf
+
+
+def test_gridcdf_quantile_error_bounded():
+    """In-grid quantiles are within one bin width of the exact value."""
+    rng = RandomRouter(0).stream("sketch")
+    data = rng.normal(2.5, 0.7, size=20_000)
+    cdf = GridCdf(0.0, 5.0, 100)
+    cdf.observe_array(data)
+    inside = data[(data >= 0.0) & (data < 5.0)]
+    for q in (0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99):
+        exact = float(np.quantile(inside, q))
+        assert abs(cdf.quantile(q) - exact) <= cdf.bin_width + 1e-12
+
+
+def test_gridcdf_merge_equals_single_pass():
+    rng = RandomRouter(1).stream("sketch")
+    data = rng.random(size=9000) * 6.0 - 0.5     # spills both ends
+    whole = GridCdf(0.0, 5.0, 50)
+    whole.observe_array(data)
+    merged = GridCdf(0.0, 5.0, 50)
+    for chunk in np.array_split(data, 7):
+        part = GridCdf(0.0, 5.0, 50)
+        part.observe_array(chunk)
+        merged.merge(part)
+    assert merged.to_payload() == whole.to_payload()
+
+
+def test_gridcdf_cdf_semantics():
+    cdf = GridCdf(0.0, 10.0, 10)
+    cdf.observe_array(np.array([-1.0, 0.5, 1.5, 2.5, 25.0]))
+    assert cdf.below == 1 and cdf.above == 1
+    assert cdf.cdf(-5.0) == 0.0
+    assert cdf.cdf(100.0) == 1.0
+    assert cdf.cdf(2.9) == pytest.approx(4 / 5)
+    assert cdf.min_value == -1.0 and cdf.max_value == 25.0
+
+
+def test_gridcdf_grid_mismatch_raises():
+    with pytest.raises(SketchError):
+        GridCdf(0.0, 5.0, 10).merge(GridCdf(0.0, 5.0, 20))
+
+
+def test_gridcdf_payload_roundtrip_byte_stable():
+    cdf = GridCdf(0.0, 5.0, 25)
+    cdf.observe_array(RandomRouter(2).stream("sketch").random(size=500)
+                      * 7.0)
+    payload = cdf.to_payload()
+    again = GridCdf.from_payload(payload)
+    assert json.dumps(payload, sort_keys=True) == \
+        json.dumps(again.to_payload(), sort_keys=True)
+
+
+def test_gridcdf_empty():
+    cdf = GridCdf(0.0, 1.0, 4)
+    assert np.isnan(cdf.quantile(0.5))
+    assert np.isnan(cdf.cdf(0.5))
+
+
+# ------------------------------------------------------------- MomentSketch
+
+
+def test_moment_sketch_matches_numpy():
+    rng = RandomRouter(3).stream("sketch")
+    data = rng.lognormal(0.0, 0.8, size=5000)
+    sketch = MomentSketch()
+    for chunk in np.array_split(data, 11):
+        sketch.observe_array(chunk)
+    assert sketch.count == data.size
+    assert sketch.mean == pytest.approx(float(np.mean(data)), rel=1e-12)
+    assert sketch.variance == pytest.approx(
+        float(np.var(data, ddof=1)), rel=1e-9)
+
+
+def test_moment_sketch_spec_order_merge_deterministic():
+    """Merging the same parts in the same (spec) order twice is
+    bit-identical — the contract the population drivers rely on."""
+    rng = RandomRouter(4).stream("sketch")
+    parts = [rng.normal(0.0, 1.0, size=n) for n in (17, 400, 3, 2000)]
+
+    def fold():
+        total = MomentSketch()
+        for part in parts:
+            piece = MomentSketch()
+            piece.observe_array(part)
+            total.merge(piece)
+        return total
+
+    a, b = fold(), fold()
+    assert (a.count, a.mean, a.m2) == (b.count, b.mean, b.m2)
+
+
+def test_moment_sketch_payload_roundtrip():
+    sketch = MomentSketch()
+    sketch.observe_array(np.array([1.0, 2.0, 4.0]))
+    again = MomentSketch.from_payload(sketch.to_payload())
+    assert (again.count, again.mean, again.m2) == \
+        (sketch.count, sketch.mean, sketch.m2)
+
+
+def test_moment_sketch_degenerate():
+    sketch = MomentSketch()
+    assert np.isnan(sketch.variance)
+    sketch.observe_array(np.array([2.0]))
+    assert sketch.count == 1 and sketch.mean == 2.0
+    assert np.isnan(sketch.variance)
+
+
+# ---------------------------------------------------------- wilson_interval
+
+
+def test_wilson_interval_basics():
+    lo, hi = wilson_interval(0, 0)
+    assert (lo, hi) == (0.0, 1.0)
+    lo, hi = wilson_interval(10, 100)
+    assert 0.0 < lo < 0.10 < hi < 1.0
+
+
+def test_wilson_interval_tightens_with_n():
+    narrow = wilson_interval(1000, 10_000)
+    wide = wilson_interval(10, 100)
+    assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+
+def test_wilson_interval_invalid():
+    with pytest.raises(SketchError):
+        wilson_interval(5, 4)
+    with pytest.raises(SketchError):
+        wilson_interval(-1, 4)

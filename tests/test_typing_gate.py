@@ -2,8 +2,8 @@
 
 ``make typecheck`` runs mypy with strict profiles over ``repro.core``,
 ``repro.runner`` and ``repro.obs``, and strict-lite profiles (see
-``mypy.ini``) over ``repro.sim``, ``repro.channel`` and
-``repro.batch`` — but mypy is an
+``mypy.ini``) over ``repro.sim``, ``repro.channel``, ``repro.batch``,
+``repro.studies`` and ``repro.analysis.sketch`` — but mypy is an
 optional dev dependency; this test is the always-on proxy that keeps
 every gated package's public surface fully annotated, so a strict mypy
 run never regresses silently on machines without it.
@@ -25,7 +25,7 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: the packages mypy.ini holds to a strict or strict-lite profile
 STRICT_PACKAGES = ("batch", "channel", "core", "net", "obs", "runner",
-                   "sim")
+                   "sim", "studies")
 
 STRICT_FILES = sorted(path for package in STRICT_PACKAGES
                       for path in (SRC / package).glob("*.py"))

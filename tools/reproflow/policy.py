@@ -47,6 +47,13 @@ Rationale per entry:
     the same zero-exemption stance: UNT/LIF/CFG and the pass-3/4
     dataflow families apply in full.
 
+``src/repro/studies/``
+    the Section 3 studies: the population block tasks (provider pass
+    1/2, nettest) are mapped through ``map_configs`` into runner
+    workers and cached by content address, and the scalar reference
+    paths are the other half of the bit-parity contract, so the
+    package inherits the zero-exemption stance in full.
+
 The pass-4 families (SER — payload picklability under spawn, IMP —
 import-time hazards in worker-imported modules, KEY — cache-key
 soundness) are exempt *nowhere*.  They fire only on code reachable from
@@ -68,4 +75,5 @@ DEFAULT_POLICY = PathPolicy((
     ("src/repro/runner/", ()),
     ("src/repro/batch/", ()),
     ("src/repro/net/", ()),
+    ("src/repro/studies/", ()),
 ))

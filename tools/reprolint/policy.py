@@ -39,6 +39,13 @@ with rationale:
       start/stop — feed the digested payload.  A single unseeded draw
       or wall-clock read in a poll loop would make the sdn-smoke
       digests diverge between serial and --jobs runs.
+* ``src/repro/studies/``
+    - zero exemptions: the population backend's pass-1/pass-2/nettest
+      block tasks execute inside runner workers with content-addressed
+      caching, and the scalar paths share bit-parity contracts with
+      them, so the whole package gets the runner's stance — any stray
+      print, unseeded draw or wall-clock read would break the
+      population-smoke digest equality.
 
 Everything else (mutable defaults, overbroad excepts, slot-less Event
 classes...) applies everywhere, including to the linters themselves.
@@ -58,4 +65,5 @@ DEFAULT_POLICY = PathPolicy((
     ("src/repro/runner/", ()),
     ("src/repro/batch/", ()),
     ("src/repro/net/", ()),
+    ("src/repro/studies/", ()),
 ))

@@ -453,7 +453,7 @@ def check_gen105(tree: ast.Module, info: FileInfo):
 #: a module-global tally survives from one task to the next in-process.
 _INSTRUMENTED_PACKAGES = (
     "sim", "core", "wifi", "voice", "runner", "channel", "net", "traffic",
-    "batch",
+    "batch", "studies",
 )
 
 _COUNTER_SUFFIXES = ("_count", "_counter", "_counts", "_total", "_calls")
